@@ -1,0 +1,60 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+namespace remo::bench {
+
+std::vector<RankId> ranks_from_env(std::vector<RankId> fallback) {
+  const char* env = std::getenv("REMO_BENCH_RANKS");
+  if (!env) return fallback;
+  std::vector<RankId> out;
+  std::istringstream in(env);
+  unsigned r = 0;
+  while (in >> r)
+    if (r > 0) out.push_back(static_cast<RankId>(r));
+  return out.empty() ? fallback : out;
+}
+
+int repeats_from_env(int fallback) {
+  if (const char* env = std::getenv("REMO_BENCH_REPEATS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+void print_banner(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("(scale shift %d; host note: single-node thread-backed ranks —\n"
+              " see EXPERIMENTS.md for how shapes map to the paper's cluster)\n",
+              bench_scale_from_env().scale_shift);
+  std::printf("==============================================================\n");
+}
+
+std::string rate(double eps) {
+  if (eps >= 1e9) return strfmt("%.2fB ev/s", eps / 1e9);
+  if (eps >= 1e6) return strfmt("%.2fM ev/s", eps / 1e6);
+  if (eps >= 1e3) return strfmt("%.2fK ev/s", eps / 1e3);
+  return strfmt("%.0f ev/s", eps);
+}
+
+std::uint64_t distinct_vertices(const EdgeList& edges) {
+  RobinHoodMap<VertexId, std::uint8_t> seen;
+  for (const Edge& e : edges) {
+    seen.insert_or_assign(e.src, 1);
+    seen.insert_or_assign(e.dst, 1);
+  }
+  return seen.size();
+}
+
+}  // namespace remo::bench

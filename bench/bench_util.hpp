@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table harnesses.
+//
+// Environment knobs (apply to every bench binary):
+//   REMO_BENCH_SCALE   dataset scale shift (default 0; -2 quarters sizes)
+//   REMO_BENCH_RANKS   space-separated rank counts (default "1 2 4")
+//   REMO_BENCH_REPEATS runs per configuration, averaged (default 3; the
+//                      paper averaged 10)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "remo/remo.hpp"
+
+namespace remo::bench {
+
+std::vector<RankId> ranks_from_env(std::vector<RankId> fallback = {1, 2, 4});
+int repeats_from_env(int fallback = 3);
+
+/// Mean of a sample vector.
+double mean(const std::vector<double>& xs);
+
+/// Print a header block for a harness: figure id + what the paper showed.
+void print_banner(const std::string& figure, const std::string& description);
+
+/// "1.3e9" style events/s formatting.
+std::string rate(double events_per_second);
+
+/// Count distinct vertices in an edge list.
+std::uint64_t distinct_vertices(const EdgeList& edges);
+
+/// Run one saturation ingest of `dataset` with `programs` pre-attached by
+/// the caller via the callback (invoked once, before ingestion). Returns
+/// mean events/s over `repeats` fresh engines.
+struct SaturationResult {
+  double events_per_second = 0;
+  double seconds = 0;
+  std::uint64_t events = 0;
+};
+
+template <typename Setup>
+SaturationResult measure_saturation(const EdgeList& edges, RankId ranks, int repeats,
+                                    Setup&& setup, bool undirected = true) {
+  SaturationResult out;
+  std::vector<double> rates, secs;
+  for (int rep = 0; rep < repeats; ++rep) {
+    EngineConfig cfg;
+    cfg.num_ranks = ranks;
+    cfg.undirected = undirected;
+    Engine engine(cfg);
+    setup(engine);
+    const StreamSet streams =
+        make_streams(edges, ranks, StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)});
+    const IngestStats stats = engine.ingest(streams);
+    rates.push_back(stats.events_per_second);
+    secs.push_back(stats.seconds);
+    out.events = stats.events;
+  }
+  out.events_per_second = mean(rates);
+  out.seconds = mean(secs);
+  return out;
+}
+
+}  // namespace remo::bench

@@ -1,0 +1,112 @@
+// google-benchmark micro benches for the storage substrate: RobinHoodMap
+// vs std::unordered_map, and the two-tier adjacency under skew.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "gen/rmat.hpp"
+#include "storage/degaware_store.hpp"
+#include "storage/robin_hood_map.hpp"
+
+namespace {
+
+using namespace remo;
+
+void BM_RobinHoodInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    RobinHoodMap<std::uint64_t, std::uint64_t> m;
+    m.reserve(n);
+    Xoshiro256 rng(1);
+    for (std::uint64_t i = 0; i < n; ++i) m.insert_or_assign(rng(), i);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RobinHoodInsert)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StdUnorderedInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    std::unordered_map<std::uint64_t, std::uint64_t> m;
+    m.reserve(n);
+    Xoshiro256 rng(1);
+    for (std::uint64_t i = 0; i < n; ++i) m.insert_or_assign(rng(), i);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_StdUnorderedInsert)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RobinHoodLookupHit(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  RobinHoodMap<std::uint64_t, std::uint64_t> m;
+  Xoshiro256 fill(1);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    keys.push_back(fill());
+    m.insert_or_assign(keys.back(), i);
+  }
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.find(keys[idx]));
+    idx = (idx + 1) % keys.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RobinHoodLookupHit)->Arg(1 << 16);
+
+void BM_StdUnorderedLookupHit(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::unordered_map<std::uint64_t, std::uint64_t> m;
+  Xoshiro256 fill(1);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    keys.push_back(fill());
+    m.emplace(keys.back(), i);
+  }
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.find(keys[idx]));
+    idx = (idx + 1) % keys.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdUnorderedLookupHit)->Arg(1 << 16);
+
+void BM_DegAwareInsertRmat(benchmark::State& state) {
+  RmatParams p;
+  p.scale = 14;
+  p.edge_factor = 8;
+  const EdgeList edges = generate_rmat(p);
+  for (auto _ : state) {
+    DegAwareStore store;
+    for (const Edge& e : edges) store.insert_edge(e.src, e.dst, e.weight);
+    benchmark::DoNotOptimize(store.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DegAwareInsertRmat);
+
+void BM_DegAwareNeighbourScan(benchmark::State& state) {
+  RmatParams p;
+  p.scale = 14;
+  p.edge_factor = 8;
+  const EdgeList edges = generate_rmat(p);
+  DegAwareStore store;
+  for (const Edge& e : edges) store.insert_edge(e.src, e.dst, e.weight);
+  for (auto _ : state) {
+    std::uint64_t arcs = 0;
+    store.for_each_vertex([&](VertexId, TwoTierAdjacency& adj) {
+      adj.for_each([&](VertexId, EdgeProp&) { ++arcs; });
+    });
+    benchmark::DoNotOptimize(arcs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(store.edge_count()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DegAwareNeighbourScan);
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Lightweight assertion macros.
+//
+// REMO_ASSERT is compiled out in NDEBUG builds; REMO_CHECK is always on and
+// is used for invariants whose violation would silently corrupt distributed
+// state (lost messages, double-frees in the store, ...).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace remo::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "remo: check failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg && *msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace remo::detail
+
+#define REMO_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::remo::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REMO_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) ::remo::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define REMO_ASSERT(expr) ((void)0)
+#else
+#define REMO_ASSERT(expr) REMO_CHECK(expr)
+#endif

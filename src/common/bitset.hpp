@@ -1,0 +1,108 @@
+// DynamicBitset: a runtime-sized bitset used by the wide Multi S-T
+// connectivity algorithm (more than 64 concurrent sources) and by the
+// static oracles to mark visited vertices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace remo {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits, bool value = false)
+      : nbits_(nbits), words_(word_count(nbits), value ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  void resize(std::size_t nbits, bool value = false) {
+    const std::size_t old_words = words_.size();
+    if (value && nbits > nbits_ && old_words > 0) {
+      // Fill the tail of the last partially used word before growing.
+      const std::size_t tail = nbits_ % 64;
+      if (tail != 0) words_.back() |= ~std::uint64_t{0} << tail;
+    }
+    words_.resize(word_count(nbits), value ? ~std::uint64_t{0} : 0);
+    nbits_ = nbits;
+    trim();
+  }
+
+  bool test(std::size_t i) const {
+    REMO_ASSERT(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) {
+    REMO_ASSERT(i < nbits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    REMO_ASSERT(i < nbits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void clear() { words_.assign(words_.size(), 0); }
+
+  std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool any() const noexcept {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool all() const noexcept { return count() == nbits_; }
+
+  /// this |= other. Sizes must match.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    REMO_CHECK(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    REMO_CHECK(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  bool operator==(const DynamicBitset& other) const noexcept {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  /// True when every bit of `other` is also set in `*this`.
+  bool is_superset_of(const DynamicBitset& other) const {
+    REMO_CHECK(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & other.words_[i]) != other.words_[i]) return false;
+    return true;
+  }
+
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  static std::size_t word_count(std::size_t nbits) { return (nbits + 63) / 64; }
+
+  // Zero bits past nbits_ so equality/count stay well defined.
+  void trim() {
+    const std::size_t tail = nbits_ % 64;
+    if (tail != 0 && !words_.empty()) words_.back() &= (~std::uint64_t{0}) >> (64 - tail);
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace remo

@@ -1,0 +1,34 @@
+// Hash functions.
+//
+// splitmix64 is used (a) as the vertex-partitioning hash of Section III-C
+// (consistent hashing: owner(v) = hash(v) mod P), (b) as the Robin Hood
+// table hash in the storage layer, and (c) for CC's initial labels
+// (Algorithm 6 labels a new vertex with hash(ID)).
+#pragma once
+
+#include <cstdint>
+
+namespace remo {
+
+/// Finalizer from the splitmix64 generator (Vigna). Full-avalanche 64-bit
+/// mix: every output bit depends on every input bit.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes (boost::hash_combine recipe, 64-bit variant).
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return seed ^ (splitmix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Default hasher for the Robin Hood tables and the partitioner.
+struct SplitMixHash {
+  constexpr std::uint64_t operator()(std::uint64_t x) const noexcept {
+    return splitmix64(x);
+  }
+};
+
+}  // namespace remo

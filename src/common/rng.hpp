@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64. All generators
+// in remo are explicitly seeded so that every experiment is reproducible
+// bit-for-bit from its (seed, parameters) pair.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace remo {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept {
+    // Seed the four lanes via splitmix64 as recommended by the authors.
+    std::uint64_t sm = seed;
+    for (auto& lane : s_) {
+      sm += 0x9e3779b97f4a7c15ULL;
+      lane = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift reduction —
+  /// the slight modulo bias is irrelevant for workload generation.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace remo

@@ -1,0 +1,180 @@
+// SmallVector: a vector with inline storage for N elements.
+//
+// The low-degree tier of the degree-aware adjacency (Section III-B,
+// DegAwareRHH's "separate, compact data structure for low-degree vertices")
+// keeps its edges inline in the vertex record; only vertices whose degree
+// crosses the threshold pay for an out-of-line Robin Hood edge table.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace remo {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() noexcept = default;
+
+  SmallVector(const SmallVector& other) { append_range(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      for (auto& v : other) emplace_back(std::move(v));
+      other.clear();
+    } else {
+      heap_ = other.heap_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      append_range(other.begin(), other.end());
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      if (other.is_inline()) {
+        size_ = 0;
+        capacity_ = N;
+        heap_ = nullptr;
+        for (auto& v : other) emplace_back(std::move(v));
+        other.clear();
+      } else {
+        heap_ = other.heap_;
+        size_ = other.size_;
+        capacity_ = other.capacity_;
+        other.heap_ = nullptr;
+        other.size_ = 0;
+        other.capacity_ = N;
+      }
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy_all(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool is_inline() const noexcept { return heap_ == nullptr; }
+
+  T* data() noexcept { return is_inline() ? inline_data() : heap_; }
+  const T* data() const noexcept { return is_inline() ? inline_data() : heap_; }
+
+  iterator begin() noexcept { return data(); }
+  iterator end() noexcept { return data() + size_; }
+  const_iterator begin() const noexcept { return data(); }
+  const_iterator end() const noexcept { return data() + size_; }
+
+  T& operator[](std::size_t i) {
+    REMO_ASSERT(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    REMO_ASSERT(i < size_);
+    return data()[i];
+  }
+
+  T& back() {
+    REMO_ASSERT(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  void pop_back() {
+    REMO_ASSERT(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  /// Remove the element at `pos` by swapping the last element into its
+  /// place. O(1); does not preserve order (adjacency sets are unordered).
+  void swap_erase(std::size_t pos) {
+    REMO_ASSERT(pos < size_);
+    if (pos != size_ - 1) data()[pos] = std::move(data()[size_ - 1]);
+    pop_back();
+  }
+
+  void clear() {
+    destroy_all();
+    heap_ = nullptr;
+    size_ = 0;
+    capacity_ = N;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+ private:
+  T* inline_data() noexcept { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+  const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void grow(std::size_t new_cap) {
+    new_cap = std::max(new_cap, N * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    T* src = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    if (!is_inline())
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void destroy_all() {
+    T* p = data();
+    for (std::size_t i = 0; i < size_; ++i) p[i].~T();
+    if (!is_inline())
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+  }
+
+  template <typename It>
+  void append_range(It first, It last) {
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  alignas(T) unsigned char inline_storage_[sizeof(T) * N];
+  T* heap_ = nullptr;  // nullptr while the inline buffer is in use
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace remo

@@ -1,0 +1,18 @@
+// Small printf-style string formatting helper (std::format is not available
+// in the toolchain's libstdc++; this keeps call sites terse).
+#pragma once
+
+#include <string>
+
+namespace remo {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strfmt(const char* fmt, ...);
+
+/// "12,345,678" — human-readable integers for harness tables.
+std::string with_commas(std::uint64_t value);
+
+/// "1.23 GB" style byte counts.
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace remo

@@ -1,0 +1,29 @@
+// Core scalar types shared by every remo subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace remo {
+
+/// Vertex identifier. Vertices are created implicitly the first time an
+/// edge event references them; there is no dense pre-registered ID space.
+using VertexId = std::uint64_t;
+
+/// Edge weight. The paper's algorithms use integer weights; SSSP distances
+/// are accumulated into 64-bit state so overflow is not a practical concern.
+using Weight = std::uint32_t;
+
+/// Rank (process) index inside the shared-nothing communicator.
+using RankId = std::uint32_t;
+
+/// Per-vertex algorithm state word. Every REMO algorithm in the paper
+/// encodes its monotone state into a single machine word (BFS level, SSSP
+/// distance, CC label, S-T connectivity bitmap).
+using StateWord = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr StateWord kInfiniteState = std::numeric_limits<StateWord>::max();
+inline constexpr Weight kDefaultWeight = 1;
+
+}  // namespace remo

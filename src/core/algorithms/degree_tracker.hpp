@@ -1,0 +1,42 @@
+// Degree tracking — the paper's introductory example of the event-centric
+// model (Section II-A): "implement a callback on edge insertion and
+// deletion ... resulting in a real-time analysis of a specific vertices
+// degree or enabling a user-defined callback if the degree exceeds a
+// certain threshold".
+//
+// The state word is the vertex's current distinct out-degree in the owned
+// store (undirected engines count each incident edge once at each end).
+// Works with add and delete events without needing Engine::repair().
+#pragma once
+
+#include "core/vertex_program.hpp"
+
+namespace remo {
+
+class DegreeTracker : public VertexProgram {
+ public:
+  std::string name() const override { return "degree"; }
+  StateWord identity() const override { return 0; }
+  // Degree is monotone only in the add-only regime; under deletes this
+  // program is a plain observer, so no_worse stays permissive.
+  bool no_worse(StateWord a, StateWord b) const override { return a >= b; }
+
+  void on_add(VertexContext& ctx, VertexId /*nbr*/, Weight /*w*/) override {
+    ctx.set_value(ctx.degree());
+  }
+
+  void on_reverse_add(VertexContext& ctx, VertexId /*nbr*/, StateWord /*nbr_val*/,
+                      Weight /*w*/) override {
+    ctx.set_value(ctx.degree());
+  }
+
+  void on_delete(VertexContext& ctx, VertexId /*nbr*/, Weight /*w*/) override {
+    ctx.set_value(ctx.degree());
+  }
+
+  void on_reverse_delete(VertexContext& ctx, VertexId /*nbr*/, Weight /*w*/) override {
+    ctx.set_value(ctx.degree());
+  }
+};
+
+}  // namespace remo

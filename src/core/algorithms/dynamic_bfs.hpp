@@ -1,0 +1,137 @@
+// Incremental Breadth First Search (Algorithm 4 of the paper).
+//
+// Monotone state: the BFS level (source = 1), which only ever decreases as
+// edges arrive. The recursive update step doubles as the edge-add repair:
+// a new edge either leaves the solution valid (level difference <= 1) or
+// starts a repair cascade from the closer endpoint (Section II-B's three
+// cases).
+//
+// Extensions beyond the paper's pseudocode:
+//  * deterministic parent tie-break (Section II-D): among equal-level
+//    candidates the lowest-id parent wins; the parent lives in the aux word.
+//  * decremental support (Section VI-B realisation): on_delete marks repair
+//    anchors; Engine::repair() drives the invalidate/probe waves through
+//    on_repair_anchor / on_invalidate / on_probe.
+#pragma once
+
+#include "core/vertex_program.hpp"
+
+namespace remo {
+
+class DynamicBfs : public VertexProgram {
+ public:
+  struct Options {
+    /// Track parents and break level ties towards the lowest parent id,
+    /// making the BFS tree deterministic (Section II-D).
+    bool deterministic_parents = false;
+    /// Enable Engine::repair() support for delete events.
+    bool support_deletes = false;
+  };
+
+  explicit DynamicBfs(VertexId source) : source_(source) {}
+  DynamicBfs(VertexId source, Options opts) : source_(source), opts_(opts) {}
+
+  std::string name() const override { return "bfs"; }
+  StateWord identity() const override { return kInfiniteState; }
+  bool no_worse(StateWord a, StateWord b) const override { return a <= b; }
+  bool supports_deletes() const override { return opts_.support_deletes; }
+  bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
+    // Deterministic-parent mode needs the equal-level offer traffic that
+    // this filter would suppress.
+    return !opts_.deterministic_parents && nbr_cache <= value;
+  }
+
+  VertexId source() const noexcept { return source_; }
+
+  void init(VertexContext& ctx) override {
+    ctx.set_value(1);
+    ctx.set_aux(ctx.vertex());  // the source is its own parent
+    ctx.update_all_nbrs(1);
+  }
+
+  void on_add(VertexContext& ctx, VertexId nbr, Weight w) override {
+    (void)w;
+    // Undirected: the Reverse-Add carries our level across, and the far
+    // end replies if it can help us — nothing to do here. Directed: push
+    // our level forward explicitly (there is no Reverse-Add).
+    if (!ctx.undirected() && ctx.value() != kInfiniteState)
+      ctx.update_single_nbr(nbr, ctx.value());
+  }
+
+  void on_reverse_add(VertexContext& ctx, VertexId nbr, StateWord nbr_val,
+                      Weight w) override {
+    on_update(ctx, nbr, nbr_val, w);
+  }
+
+  void on_update(VertexContext& ctx, VertexId from, StateWord from_val,
+                 Weight /*w*/) override {
+    const StateWord mine = ctx.value();
+    if (from_val != kInfiniteState && mine > from_val + 1) {
+      // Case (iii): a shorter path appeared; adopt and cascade.
+      ctx.set_value(from_val + 1);
+      if (track_parents()) ctx.set_aux(from);
+      ctx.update_all_nbrs(from_val + 1);
+    } else if (mine != kInfiniteState &&
+               (from_val == kInfiniteState || from_val > mine + 1)) {
+      // The visitor is the one that can improve: notify it back.
+      ctx.update_single_nbr(from, mine);
+    } else if (opts_.deterministic_parents && from_val != kInfiniteState &&
+               mine == from_val + 1 && from < ctx.aux()) {
+      // Equal-level candidate with a smaller id: deterministic tree clause.
+      ctx.set_aux(from);
+    } else if (opts_.deterministic_parents && mine != kInfiniteState &&
+               from_val == mine + 1) {
+      // The sender sits exactly one level downstream: offer ourselves as a
+      // parent candidate so its tie-break sees every upstream neighbour
+      // (case (ii) of Section II-B generates no traffic otherwise).
+      ctx.update_single_nbr(from, mine);
+    }
+  }
+
+  // --- Decremental repair ----------------------------------------------------
+
+  void on_delete(VertexContext& ctx, VertexId nbr, Weight w) override {
+    on_reverse_delete(ctx, nbr, w);
+  }
+
+  void on_reverse_delete(VertexContext& ctx, VertexId nbr, Weight /*w*/) override {
+    if (!opts_.support_deletes) return;
+    // Our support may have been severed; let the repair pass decide.
+    if (ctx.aux() == nbr) ctx.mark_dirty();
+  }
+
+  void on_repair_anchor(VertexContext& ctx) override {
+    if (ctx.value() == kInfiniteState || ctx.vertex() == source_) return;
+    const StateWord parent = ctx.aux();
+    // Re-anchored onto a surviving edge in the meantime? Then nothing broke.
+    if (parent != kInfiniteState && ctx.adj() &&
+        ctx.adj()->contains(static_cast<VertexId>(parent)))
+      return;
+    invalidate(ctx);
+  }
+
+  void on_invalidate(VertexContext& ctx, VertexId from) override {
+    if (ctx.value() == kInfiniteState) return;  // already dead this pass
+    if (ctx.aux() != from) return;              // our support is elsewhere
+    invalidate(ctx);
+  }
+
+  // on_probe: default behaviour (offer our value) is correct for BFS.
+
+ private:
+  bool track_parents() const noexcept {
+    return opts_.deterministic_parents || opts_.support_deletes;
+  }
+
+  void invalidate(VertexContext& ctx) {
+    ctx.set_value(kInfiniteState);
+    ctx.set_aux(kInfiniteState);
+    ctx.mark_invalid();
+    ctx.send_invalidate_all_nbrs();
+  }
+
+  VertexId source_;
+  Options opts_{};
+};
+
+}  // namespace remo

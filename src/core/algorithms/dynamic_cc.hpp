@@ -1,0 +1,53 @@
+// Incremental Connected Components (Algorithm 6 of the paper).
+//
+// Label propagation without an initiating vertex: every vertex labels
+// itself hash(id) when it first appears, and the dominating (larger) label
+// floods each component. Monotone state: the label only ever increases,
+// converging to the component-wide maximum of the initial labels — the
+// deterministic answer the static oracle (static_cc_labels) computes.
+// Requires an undirected engine (connectivity is symmetric).
+#pragma once
+
+#include "core/vertex_program.hpp"
+#include "graph/static_cc.hpp"  // cc_initial_label: shared with the oracle
+
+namespace remo {
+
+class DynamicCc : public VertexProgram {
+ public:
+  std::string name() const override { return "cc"; }
+  StateWord identity() const override { return 0; }
+  bool no_worse(StateWord a, StateWord b) const override { return a >= b; }
+  bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
+    return nbr_cache >= value;
+  }
+
+  void on_add(VertexContext& ctx, VertexId /*nbr*/, Weight /*w*/) override {
+    ensure_label(ctx);
+  }
+
+  void on_reverse_add(VertexContext& ctx, VertexId nbr, StateWord nbr_val,
+                      Weight w) override {
+    on_update(ctx, nbr, nbr_val, w);
+  }
+
+  void on_update(VertexContext& ctx, VertexId from, StateWord from_val,
+                 Weight /*w*/) override {
+    ensure_label(ctx);
+    const StateWord mine = ctx.value();
+    if (mine > from_val) {
+      // We dominate: notify the visitor back (it will adopt and cascade).
+      ctx.update_single_nbr(from, mine);
+    } else if (mine < from_val) {
+      ctx.set_value(from_val);
+      ctx.update_all_nbrs(from_val);
+    }
+  }
+
+ private:
+  static void ensure_label(VertexContext& ctx) {
+    if (ctx.value() == 0) ctx.set_value(cc_initial_label(ctx.vertex()));
+  }
+};
+
+}  // namespace remo

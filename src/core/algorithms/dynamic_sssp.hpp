@@ -1,0 +1,115 @@
+// Incremental Single Source Shortest Path (Algorithm 5 of the paper).
+//
+// Identical recursion to BFS with the hop count replaced by the sum of
+// edge weights (paper convention: dist(source) = 1). State decreases
+// monotonically; the traversal pattern is data-dependent on the weights.
+// Edge weights must be >= 1 (zero-weight edges would break the parent-
+// chain acyclicity the decremental repair relies on).
+#pragma once
+
+#include "common/assert.hpp"
+#include "core/vertex_program.hpp"
+
+namespace remo {
+
+class DynamicSssp : public VertexProgram {
+ public:
+  struct Options {
+    bool deterministic_parents = false;
+    bool support_deletes = false;
+  };
+
+  explicit DynamicSssp(VertexId source) : source_(source) {}
+  DynamicSssp(VertexId source, Options opts) : source_(source), opts_(opts) {}
+
+  std::string name() const override { return "sssp"; }
+  StateWord identity() const override { return kInfiniteState; }
+  bool no_worse(StateWord a, StateWord b) const override { return a <= b; }
+  bool supports_deletes() const override { return opts_.support_deletes; }
+  bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
+    return !opts_.deterministic_parents && nbr_cache <= value;
+  }
+
+  VertexId source() const noexcept { return source_; }
+
+  void init(VertexContext& ctx) override {
+    ctx.set_value(1);
+    ctx.set_aux(ctx.vertex());
+    ctx.update_all_nbrs(1);
+  }
+
+  void on_add(VertexContext& ctx, VertexId nbr, Weight w) override {
+    (void)w;
+    if (!ctx.undirected() && ctx.value() != kInfiniteState)
+      ctx.update_single_nbr(nbr, ctx.value());
+  }
+
+  void on_reverse_add(VertexContext& ctx, VertexId nbr, StateWord nbr_val,
+                      Weight w) override {
+    on_update(ctx, nbr, nbr_val, w);
+  }
+
+  void on_update(VertexContext& ctx, VertexId from, StateWord from_val,
+                 Weight w) override {
+    REMO_ASSERT(w >= 1);
+    const StateWord mine = ctx.value();
+    if (from_val != kInfiniteState && mine > from_val + w) {
+      ctx.set_value(from_val + w);
+      if (track_parents()) ctx.set_aux(from);
+      ctx.update_all_nbrs(from_val + w);
+    } else if (mine != kInfiniteState &&
+               (from_val == kInfiniteState || from_val > mine + w)) {
+      ctx.update_single_nbr(from, mine);
+    } else if (opts_.deterministic_parents && from_val != kInfiniteState &&
+               mine == from_val + w && from < ctx.aux()) {
+      ctx.set_aux(from);
+    } else if (opts_.deterministic_parents && mine != kInfiniteState &&
+               from_val == mine + w) {
+      // Offer ourselves as an equal-cost parent candidate (see DynamicBfs).
+      ctx.update_single_nbr(from, mine);
+    }
+  }
+
+  // --- Decremental repair (same strategy as DynamicBfs) -----------------------
+
+  void on_delete(VertexContext& ctx, VertexId nbr, Weight w) override {
+    on_reverse_delete(ctx, nbr, w);
+  }
+
+  void on_reverse_delete(VertexContext& ctx, VertexId nbr, Weight /*w*/) override {
+    if (!opts_.support_deletes) return;
+    if (ctx.aux() == nbr) ctx.mark_dirty();
+  }
+
+  void on_repair_anchor(VertexContext& ctx) override {
+    if (ctx.value() == kInfiniteState || ctx.vertex() == source_) return;
+    const StateWord parent = ctx.aux();
+    if (parent != kInfiniteState && ctx.adj() &&
+        ctx.adj()->contains(static_cast<VertexId>(parent)))
+      return;
+    invalidate(ctx);
+  }
+
+  void on_invalidate(VertexContext& ctx, VertexId from) override {
+    if (ctx.value() == kInfiniteState) return;
+    if (ctx.aux() != from) return;
+    invalidate(ctx);
+  }
+
+ private:
+  bool track_parents() const noexcept {
+    return opts_.deterministic_parents || opts_.support_deletes;
+  }
+
+  void invalidate(VertexContext& ctx) {
+    ctx.set_value(kInfiniteState);
+    ctx.set_aux(kInfiniteState);
+    ctx.mark_invalid();
+    ctx.send_invalidate_all_nbrs();
+  }
+
+  VertexId source_;
+  Options opts_{};
+};
+
+}  // namespace remo

@@ -1,0 +1,84 @@
+// Incremental Multi S-T Connectivity (Algorithm 7 of the paper).
+//
+// Up to 64 concurrent sources; each vertex's state is a bitmap where bit i
+// means "reachable from sources[i]". Monotone: bits are only ever set
+// (a convex solution space under the subset order). The superset /
+// subset / mixed exchange of Algorithm 7 is implemented verbatim.
+// Requires an undirected engine.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/engine.hpp"
+#include "core/vertex_program.hpp"
+
+namespace remo {
+
+class MultiStConnectivity : public VertexProgram {
+ public:
+  explicit MultiStConnectivity(std::vector<VertexId> sources)
+      : sources_(std::move(sources)) {
+    REMO_CHECK_MSG(sources_.size() <= 64, "use <=64 sources per program");
+  }
+
+  std::string name() const override { return "multi-st"; }
+  StateWord identity() const override { return 0; }
+  bool no_worse(StateWord a, StateWord b) const override { return (a | b) == a; }
+  bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
+    return (nbr_cache | value) == nbr_cache;
+  }
+
+  const std::vector<VertexId>& sources() const noexcept { return sources_; }
+
+  /// Bit index of a source vertex, or -1 when it is not a source.
+  int source_index(VertexId v) const noexcept {
+    for (std::size_t i = 0; i < sources_.size(); ++i)
+      if (sources_[i] == v) return static_cast<int>(i);
+    return -1;
+  }
+
+  void init(VertexContext& ctx) override {
+    const int idx = source_index(ctx.vertex());
+    REMO_CHECK_MSG(idx >= 0, "init injected at a non-source vertex");
+    const StateWord mask = ctx.value() | (StateWord{1} << idx);
+    ctx.set_value(mask);
+    ctx.update_all_nbrs(mask);
+  }
+
+  // Algorithm 7's add(): "do nothing but wait" — the Reverse-Add carries
+  // connectivity across the new edge.
+
+  void on_reverse_add(VertexContext& ctx, VertexId nbr, StateWord nbr_val,
+                      Weight w) override {
+    on_update(ctx, nbr, nbr_val, w);
+  }
+
+  void on_update(VertexContext& ctx, VertexId from, StateWord from_val,
+                 Weight /*w*/) override {
+    const StateWord mine = ctx.value();
+    const StateWord merged = mine | from_val;
+    if (mine == from_val) return;  // identical: nothing to exchange
+    if (merged == mine) {
+      // Pure superset: the visitor is missing bits we hold.
+      ctx.update_single_nbr(from, mine);
+    } else {
+      // Pure subset or mix: apply, broadcast to all (the broadcast reaches
+      // the visitor too, completing the exchange in the mixed case).
+      ctx.set_value(merged);
+      ctx.update_all_nbrs(merged);
+    }
+  }
+
+ private:
+  std::vector<VertexId> sources_;
+};
+
+/// Instantiate every source of an attached MultiStConnectivity program
+/// (init events may land before, during, or after ingestion).
+inline void inject_st_sources(Engine& engine, ProgramId prog,
+                              const MultiStConnectivity& st) {
+  for (const VertexId s : st.sources()) engine.inject_init(prog, s);
+}
+
+}  // namespace remo

@@ -1,0 +1,81 @@
+// WideStFleet: Multi S-T connectivity beyond 64 sources.
+//
+// The visitor payload is one machine word, so a single MultiStConnectivity
+// program carries at most 64 source bits (exactly the paper's largest
+// evaluated configuration, Figure 7). For wider source sets this helper
+// composes ceil(n/64) independent programs over the same engine — the
+// "multiple algorithms simultaneously on the same underlying dynamic data
+// structure" capability of Section I put to work. Each program's flows
+// stay independent, so correctness is inherited per 64-source block.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bitset.hpp"
+#include "core/algorithms/multi_st.hpp"
+#include "core/engine.hpp"
+
+namespace remo {
+
+class WideStFleet {
+ public:
+  /// Attach ceil(sources/64) MultiStConnectivity programs to `engine`.
+  /// Must run while the engine is idle (like any attach).
+  WideStFleet(Engine& engine, std::vector<VertexId> sources)
+      : engine_(&engine), sources_(std::move(sources)) {
+    REMO_CHECK(!sources_.empty());
+    for (std::size_t off = 0; off < sources_.size(); off += 64) {
+      const std::size_t end = std::min(sources_.size(), off + 64);
+      std::vector<VertexId> block(sources_.begin() + static_cast<std::ptrdiff_t>(off),
+                                  sources_.begin() + static_cast<std::ptrdiff_t>(end));
+      auto [id, prog] = engine.attach_make<MultiStConnectivity>(std::move(block));
+      program_ids_.push_back(id);
+      programs_.push_back(std::move(prog));
+    }
+  }
+
+  /// Inject every source's init event (any time, including mid-ingestion).
+  void inject_sources() {
+    for (std::size_t b = 0; b < programs_.size(); ++b)
+      inject_st_sources(*engine_, program_ids_[b], *programs_[b]);
+  }
+
+  std::size_t num_sources() const noexcept { return sources_.size(); }
+  std::size_t num_programs() const noexcept { return programs_.size(); }
+  const std::vector<ProgramId>& program_ids() const noexcept { return program_ids_; }
+
+  /// Full connectivity bitset of one vertex (quiescent read).
+  DynamicBitset connectivity_of(VertexId v) const {
+    DynamicBitset bits(sources_.size());
+    for (std::size_t b = 0; b < programs_.size(); ++b) {
+      const StateWord mask = engine_->state_of(program_ids_[b], v);
+      for (std::size_t i = 0; i < 64 && b * 64 + i < sources_.size(); ++i)
+        if ((mask >> i) & 1) bits.set(b * 64 + i);
+    }
+    return bits;
+  }
+
+  /// How many sources reach `v` (quiescent read).
+  std::size_t reach_count(VertexId v) const { return connectivity_of(v).count(); }
+
+  /// Register a "when" trigger on one (vertex, source) pair: fires once,
+  /// when `source_index` first reaches `v`.
+  TriggerId when_connected(VertexId v, std::size_t source_index, TriggerAction act) {
+    REMO_CHECK(source_index < sources_.size());
+    const std::size_t block = source_index / 64;
+    const StateWord bit = StateWord{1} << (source_index % 64);
+    return engine_->when(
+        program_ids_[block], v, [bit](StateWord mask) { return (mask & bit) != 0; },
+        std::move(act));
+  }
+
+ private:
+  Engine* engine_;
+  std::vector<VertexId> sources_;
+  std::vector<ProgramId> program_ids_;
+  std::vector<std::shared_ptr<MultiStConnectivity>> programs_;
+};
+
+}  // namespace remo

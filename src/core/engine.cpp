@@ -1,0 +1,541 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "core/engine_detail.hpp"
+
+namespace remo {
+namespace detail {
+
+void fire_triggers(ProgramRank& pr, VertexId v, StateWord old_val, StateWord new_val) {
+  if (pr.vertex_trigger_count > 0) {
+    if (auto* vec = pr.vertex_triggers.find(v)) {
+      std::size_t i = 0;
+      while (i < vec->size()) {
+        if ((*vec)[i].predicate(new_val)) {
+          // Retire before running: exactly-once even if the action itself
+          // changes state.
+          VertexTrigger fired = std::move((*vec)[i]);
+          (*vec)[i] = std::move(vec->back());
+          vec->pop_back();
+          --pr.vertex_trigger_count;
+          fired.action(v, new_val);
+        } else {
+          ++i;
+        }
+      }
+      if (vec->empty()) pr.vertex_triggers.erase(v);
+    }
+  }
+  for (auto& gt : pr.global_triggers)
+    if (!gt.predicate(old_val) && gt.predicate(new_val)) gt.action(v, new_val);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// VertexContext
+// ---------------------------------------------------------------------------
+
+StateWord VertexContext::value() const {
+  const detail::ProgramRank& pr = rt_->progs[prog_];
+  if (prev_view_) {
+    if (const StateWord* p = pr.prev.find(vertex_)) return *p;
+  }
+  if (const StateWord* c = pr.cur.find(vertex_)) return *c;
+  return rt_->engine->program(prog_).identity();
+}
+
+void VertexContext::set_value(StateWord v) {
+  detail::ProgramRank& pr = rt_->progs[prog_];
+  if (prev_view_) {
+    // S_prev mutation: silent (triggers observe live state only).
+    pr.prev.insert_or_assign(vertex_, v);
+    return;
+  }
+  Engine& eng = *rt_->engine;
+  const StateWord identity = eng.program(prog_).identity();
+  const StateWord* c = pr.cur.find(vertex_);
+  const StateWord old_val = c ? *c : identity;
+  // Copy-on-first-new-epoch-write (Section III-D): freeze S_prev before a
+  // new-epoch cause mutates the shared state.
+  if (eng.versioned_collection_active() && epoch_ == eng.current_epoch() &&
+      !pr.prev.contains(vertex_))
+    pr.prev.insert_or_assign(vertex_, old_val);
+  pr.cur.insert_or_assign(vertex_, v);
+  detail::fire_triggers(pr, vertex_, old_val, v);
+}
+
+bool VertexContext::undirected() const {
+  return rt_->engine->config().undirected;
+}
+
+StateWord VertexContext::aux() const {
+  const StateWord* a = rt_->progs[prog_].aux.find(vertex_);
+  return a ? *a : kInfiniteState;
+}
+
+void VertexContext::set_aux(StateWord v) {
+  rt_->progs[prog_].aux.insert_or_assign(vertex_, v);
+}
+
+void VertexContext::update_single_nbr(VertexId nbr, StateWord value) {
+  rt_->send(Visitor{nbr, vertex_, value, edge_weight(nbr), VisitKind::kUpdate, prog_,
+                    epoch_});
+}
+
+void VertexContext::update_all_nbrs(StateWord value) {
+  if (!adj_) return;
+  Engine& eng = *rt_->engine;
+  // The cache bounds the neighbour's *live* state only. Old-epoch
+  // emissions during a versioned collection also drive receivers' frozen
+  // S_prev, which may be arbitrarily behind the live state — never
+  // suppress those (nor prev-view emissions, which are old-tagged too).
+  const bool suppressible =
+      eng.config().nbr_cache_filter && !prev_view_ &&
+      (!eng.versioned_collection_active() || epoch_ == eng.current_epoch());
+  const VertexProgram* prog = suppressible ? &eng.program(prog_) : nullptr;
+  adj_->for_each([&](VertexId nbr, EdgeProp& prop) {
+    if (prog) {
+      const StateWord cached = prop.cache_for(prog_);
+      if (cached != kInfiniteState && prog->update_is_redundant(cached, value))
+        return;
+    }
+    rt_->send(Visitor{nbr, vertex_, value, prop.weight, VisitKind::kUpdate, prog_,
+                      epoch_});
+  });
+}
+
+void VertexContext::mark_dirty() { rt_->progs[prog_].dirty.push_back(vertex_); }
+
+void VertexContext::mark_invalid() {
+  rt_->progs[prog_].invalidated.push_back(vertex_);
+}
+
+void VertexContext::send_invalidate_all_nbrs() {
+  if (!adj_) return;
+  adj_->for_each([&](VertexId nbr, EdgeProp& prop) {
+    rt_->send(Visitor{nbr, vertex_, 0, prop.weight, VisitKind::kInvalidate, prog_,
+                      epoch_});
+  });
+}
+
+void VertexContext::send_probe_all_nbrs() {
+  if (!adj_) return;
+  adj_->for_each([&](VertexId nbr, EdgeProp& prop) {
+    rt_->send(Visitor{nbr, vertex_, 0, prop.weight, VisitKind::kProbe, prog_, epoch_});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Engine — construction / teardown
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr auto kPollInterval = std::chrono::microseconds(50);
+}  // namespace
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(cfg),
+      part_(cfg.num_ranks, cfg.partition),
+      comm_(cfg.num_ranks, cfg.batch_size),
+      safra_(cfg.num_ranks) {
+  REMO_CHECK(cfg_.num_ranks > 0);
+  ranks_.reserve(cfg_.num_ranks);
+  for (RankId r = 0; r < cfg_.num_ranks; ++r) {
+    auto rt = std::make_unique<detail::RankRuntime>(cfg_.store);
+    rt->engine = this;
+    rt->comm = &comm_;
+    rt->safra = &safra_;
+    rt->part = &part_;
+    rt->rank = r;
+    ranks_.push_back(std::move(rt));
+  }
+  threads_.reserve(cfg_.num_ranks);
+  for (RankId r = 0; r < cfg_.num_ranks; ++r)
+    threads_.emplace_back([this, r] { rank_main(r); });
+}
+
+Engine::~Engine() {
+  shutdown_.store(true, std::memory_order_release);
+  comm_.interrupt_all();
+  for (auto& t : threads_) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Engine — program & event injection API
+// ---------------------------------------------------------------------------
+
+ProgramId Engine::attach(std::shared_ptr<VertexProgram> program) {
+  std::lock_guard guard(op_mutex_);
+  REMO_CHECK_MSG(idle(), "attach() requires a quiescent engine");
+  REMO_CHECK_MSG(programs_.size() < 32, "too many programs");
+  const ProgramId id = static_cast<ProgramId>(programs_.size());
+  programs_.push_back(std::move(program));
+  for (auto& rt : ranks_) rt->progs.emplace_back();
+  return id;
+}
+
+void Engine::inject_init(ProgramId p, VertexId v) {
+  REMO_CHECK(p < programs_.size());
+  Visitor vis{v, v, 0, kDefaultWeight, VisitKind::kInit, p,
+              epoch_.load(std::memory_order_acquire)};
+  comm_.note_injected(vis.epoch);
+  safra_.on_basic_send(0);  // modelled as a send from rank 0's environment
+  comm_.mailbox(part_.owner(v)).push_one(vis);
+}
+
+void Engine::inject_edge(const EdgeEvent& e) {
+  const VisitKind kind = e.op == EdgeOp::kAdd ? VisitKind::kAdd : VisitKind::kDelete;
+  Visitor vis{e.src, e.dst, 0, e.weight, kind, Visitor::kTopologyAlgo,
+              epoch_.load(std::memory_order_acquire)};
+  comm_.note_injected(vis.epoch);
+  safra_.on_basic_send(0);
+  comm_.mailbox(part_.owner(e.src)).push_one(vis);
+}
+
+void Engine::inject_vertex_removal(VertexId v) {
+  REMO_CHECK_MSG(comm_.in_flight_total() == 0,
+                 "inject_vertex_removal() requires quiescence");
+  const auto& store = ranks_[part_.owner(v)]->store;
+  const TwoTierAdjacency* adj = store.adjacency(v);
+  if (!adj) return;
+  std::vector<VertexId> nbrs;
+  adj->for_each([&](VertexId nbr, const EdgeProp&) { nbrs.push_back(nbr); });
+  for (const VertexId nbr : nbrs)
+    inject_edge(EdgeEvent{v, nbr, kDefaultWeight, EdgeOp::kDelete});
+}
+
+// ---------------------------------------------------------------------------
+// Engine — ingestion
+// ---------------------------------------------------------------------------
+
+void Engine::ingest_async(const StreamSet& streams) {
+  std::lock_guard guard(op_mutex_);
+  // Injected events (e.g. a pre-ingestion init) may still be in flight —
+  // that is fine; only overlapping stream runs are disallowed.
+  REMO_CHECK_MSG(!streams_assigned_.load(std::memory_order_acquire),
+                 "a stream set is already assigned");
+  for (auto& rt : ranks_) {
+    REMO_CHECK(rt->stream_remaining.load(std::memory_order_acquire) == 0);
+    rt->streams.clear();
+    rt->next_stream = 0;
+  }
+  for (std::size_t i = 0; i < streams.num_streams(); ++i) {
+    auto& rt = *ranks_[i % cfg_.num_ranks];
+    rt.streams.push_back(detail::RankRuntime::StreamCursor{&streams.stream(i), 0});
+  }
+  for (auto& rt : ranks_) {
+    std::uint64_t total = 0;
+    for (const auto& sc : rt->streams) total += sc.stream->size();
+    rt->stream_remaining.store(total, std::memory_order_release);
+  }
+  ingest_start_ = std::chrono::steady_clock::now();
+  ingest_events_ = streams.total_events();
+  streams_paused_.store(false, std::memory_order_release);
+  streams_assigned_.store(true, std::memory_order_release);
+  if (cfg_.termination == TerminationMode::kSafra) safra_.rearm();
+  comm_.interrupt_all();
+}
+
+bool Engine::idle() const {
+  if (!streams_paused_.load(std::memory_order_acquire)) {
+    for (const auto& rt : ranks_)
+      if (rt->stream_remaining.load(std::memory_order_acquire) != 0) return false;
+  }
+  return comm_.in_flight_total() == 0;
+}
+
+void Engine::await_in_flight_zero() {
+  while (comm_.in_flight_total() != 0) std::this_thread::sleep_for(kPollInterval);
+}
+
+IngestStats Engine::await_quiescence() {
+  // Wait for every stream to be fully pulled...
+  for (auto& rt : ranks_) {
+    while (rt->stream_remaining.load(std::memory_order_acquire) != 0) {
+      REMO_CHECK_MSG(!streams_paused_.load(std::memory_order_acquire),
+                     "await_quiescence() while streams are paused would hang");
+      std::this_thread::sleep_for(kPollInterval);
+    }
+  }
+  // ...then for the cascades to settle.
+  if (cfg_.termination == TerminationMode::kSafra) {
+    while (!safra_.terminated()) std::this_thread::sleep_for(kPollInterval);
+    // Safra declared termination; the counting invariant must agree.
+    REMO_CHECK(comm_.in_flight_total() == 0);
+  } else {
+    await_in_flight_zero();
+  }
+
+  IngestStats stats;
+  stats.events = ingest_events_;
+  stats.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                ingest_start_)
+                      .count();
+  stats.events_per_second =
+      stats.seconds > 0 ? static_cast<double>(stats.events) / stats.seconds : 0.0;
+
+  std::lock_guard guard(op_mutex_);
+  for (auto& rt : ranks_) rt->streams.clear();
+  streams_assigned_.store(false, std::memory_order_release);
+  return stats;
+}
+
+IngestStats Engine::ingest(const StreamSet& streams) {
+  ingest_async(streams);
+  return await_quiescence();
+}
+
+void Engine::drain() {
+  if (cfg_.termination == TerminationMode::kSafra) {
+    safra_.rearm();
+    comm_.interrupt_all();
+    while (!safra_.terminated()) std::this_thread::sleep_for(kPollInterval);
+    REMO_CHECK(comm_.in_flight_total() == 0);
+  } else {
+    await_in_flight_zero();
+  }
+}
+
+void Engine::resume_streams() {
+  streams_paused_.store(false, std::memory_order_release);
+  comm_.interrupt_all();
+}
+
+// ---------------------------------------------------------------------------
+// Engine — state access & snapshots
+// ---------------------------------------------------------------------------
+
+StateWord Engine::state_of(ProgramId p, VertexId v) const {
+  REMO_CHECK(p < programs_.size());
+  REMO_CHECK_MSG(comm_.in_flight_total() == 0,
+                 "state_of() requires quiescence; use triggers for live reads");
+  const auto& rt = *ranks_[part_.owner(v)];
+  const StateWord* c = rt.progs[p].cur.find(v);
+  return c ? *c : programs_[p]->identity();
+}
+
+Snapshot Engine::harvest(ProgramId p) {
+  control_acks_.store(0, std::memory_order_release);
+  for (RankId r = 0; r < cfg_.num_ranks; ++r) {
+    Visitor vis{};
+    vis.kind = VisitKind::kControl;
+    vis.other = static_cast<std::uint64_t>(ControlOp::kHarvest);
+    vis.algo = p;
+    comm_.mailbox(r).push_one(vis);
+  }
+  while (control_acks_.load(std::memory_order_acquire) < cfg_.num_ranks)
+    std::this_thread::sleep_for(kPollInterval);
+
+  std::vector<Snapshot::Entry> entries;
+  for (auto& rt : ranks_) {
+    std::lock_guard guard(rt->harvest_mutex);
+    entries.insert(entries.end(), rt->harvest_out.begin(), rt->harvest_out.end());
+    rt->harvest_out.clear();
+  }
+  return Snapshot(std::move(entries), programs_[p]->identity());
+}
+
+Snapshot Engine::collect_quiescent(ProgramId p) {
+  REMO_CHECK(p < programs_.size());
+  std::lock_guard guard(op_mutex_);
+  const bool was_paused = streams_paused_.load(std::memory_order_acquire);
+  pause_streams();
+  await_in_flight_zero();
+  Snapshot snap = harvest(p);
+  if (!was_paused) resume_streams();
+  return snap;
+}
+
+Snapshot Engine::collect_aux_quiescent(ProgramId p) {
+  REMO_CHECK(p < programs_.size());
+  std::lock_guard guard(op_mutex_);
+  const bool was_paused = streams_paused_.load(std::memory_order_acquire);
+  pause_streams();
+  await_in_flight_zero();
+  std::vector<Snapshot::Entry> entries;
+  for (auto& rt : ranks_) {
+    rt->progs[p].aux.for_each([&](const VertexId& v, StateWord& a) {
+      if (a != kInfiniteState) entries.emplace_back(v, a);
+    });
+  }
+  if (!was_paused) resume_streams();
+  return Snapshot(std::move(entries), kInfiniteState);
+}
+
+Snapshot Engine::collect_versioned(ProgramId p) {
+  REMO_CHECK(p < programs_.size());
+  std::lock_guard guard(op_mutex_);
+
+  versioned_active_.store(true, std::memory_order_release);
+  const std::uint16_t old_epoch = epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint16_t new_epoch = static_cast<std::uint16_t>(old_epoch + 1);
+  comm_.interrupt_all();
+
+  // Handshake: once every rank has published the new epoch, no further
+  // old-tagged injections can occur, so the old parity counter can only
+  // fall to zero.
+  for (auto& rt : ranks_) {
+    while (rt->epoch_seen.load(std::memory_order_acquire) != new_epoch) {
+      std::this_thread::sleep_for(kPollInterval);
+      comm_.interrupt_all();  // parked ranks publish on wake
+    }
+  }
+  while (comm_.in_flight(old_epoch & 1) != 0) std::this_thread::sleep_for(kPollInterval);
+
+  // The cut is final: S_prev (or the shared state for unsplit vertices) is
+  // the global algorithm state at the discretisation point, while new-epoch
+  // ingestion continues untouched.
+  Snapshot snap = harvest(p);
+  versioned_active_.store(false, std::memory_order_release);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Engine — "when" queries
+// ---------------------------------------------------------------------------
+
+TriggerId Engine::when(ProgramId p, VertexId v, TriggerPredicate pred,
+                       TriggerAction act) {
+  REMO_CHECK(p < programs_.size());
+  auto& rt = *ranks_[part_.owner(v)];
+  detail::PendingTrigger pt;
+  pt.prog = p;
+  pt.is_global = false;
+  pt.vertex_trigger = VertexTrigger{v, std::move(pred), std::move(act)};
+  {
+    std::lock_guard guard(rt.reg_mutex);
+    rt.pending_triggers.push_back(std::move(pt));
+  }
+  rt.has_pending.store(true, std::memory_order_release);
+  comm_.mailbox(rt.rank).interrupt();
+  return next_trigger_id_++;
+}
+
+TriggerId Engine::when_any(ProgramId p, TriggerPredicate pred, TriggerAction act) {
+  REMO_CHECK(p < programs_.size());
+  for (auto& rt : ranks_) {
+    detail::PendingTrigger pt;
+    pt.prog = p;
+    pt.is_global = true;
+    pt.global_trigger = GlobalTrigger{pred, act};
+    {
+      std::lock_guard guard(rt->reg_mutex);
+      rt->pending_triggers.push_back(std::move(pt));
+    }
+    rt->has_pending.store(true, std::memory_order_release);
+    comm_.mailbox(rt->rank).interrupt();
+  }
+  return next_trigger_id_++;
+}
+
+// ---------------------------------------------------------------------------
+// Engine — decremental repair (Section VI-B)
+// ---------------------------------------------------------------------------
+
+void Engine::repair(ProgramId p) {
+  REMO_CHECK(p < programs_.size());
+  REMO_CHECK_MSG(programs_[p]->supports_deletes(),
+                 "repair() on a program without delete support");
+  std::lock_guard guard(op_mutex_);
+  const bool was_paused = streams_paused_.load(std::memory_order_acquire);
+  pause_streams();
+  await_in_flight_zero();
+
+  // Phase A: invalidation wave from every dirty anchor (asynchronous and
+  // concurrent across ranks; quiescence ends the phase).
+  control_acks_.store(0, std::memory_order_release);
+  for (RankId r = 0; r < cfg_.num_ranks; ++r) {
+    Visitor vis{};
+    vis.kind = VisitKind::kControl;
+    vis.other = static_cast<std::uint64_t>(ControlOp::kRepairAnchors);
+    vis.algo = p;
+    comm_.mailbox(r).push_one(vis);
+  }
+  while (control_acks_.load(std::memory_order_acquire) < cfg_.num_ranks)
+    std::this_thread::sleep_for(kPollInterval);
+  await_in_flight_zero();
+
+  // Phase B: every invalidated vertex probes its neighbourhood; the normal
+  // monotone machinery then reconverges.
+  control_acks_.store(0, std::memory_order_release);
+  for (RankId r = 0; r < cfg_.num_ranks; ++r) {
+    Visitor vis{};
+    vis.kind = VisitKind::kControl;
+    vis.other = static_cast<std::uint64_t>(ControlOp::kRepairProbes);
+    vis.algo = p;
+    comm_.mailbox(r).push_one(vis);
+  }
+  while (control_acks_.load(std::memory_order_acquire) < cfg_.num_ranks)
+    std::this_thread::sleep_for(kPollInterval);
+  await_in_flight_zero();
+
+  if (!was_paused) resume_streams();
+}
+
+void Engine::repair_all() {
+  for (ProgramId p = 0; p < programs_.size(); ++p)
+    if (programs_[p]->supports_deletes()) repair(p);
+}
+
+void Engine::reset_program(ProgramId p) {
+  REMO_CHECK(p < programs_.size());
+  std::lock_guard guard(op_mutex_);
+  REMO_CHECK_MSG(comm_.in_flight_total() == 0, "reset_program() requires quiescence");
+  for (auto& rt : ranks_) {
+    auto& pr = rt->progs[p];
+    pr.cur.clear();
+    pr.prev.clear();
+    pr.aux.clear();
+    pr.dirty.clear();
+    pr.invalidated.clear();
+    // Edge caches deposited by this program would otherwise let the
+    // redundancy filter suppress the rerun's propagation.
+    rt->store.for_each_vertex([&](VertexId, TwoTierAdjacency& adj) {
+      adj.for_each([&](VertexId, EdgeProp& prop) {
+        if (prop.cache_algo == p) prop.clear_cache();
+      });
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine — introspection
+// ---------------------------------------------------------------------------
+
+MetricsSummary Engine::metrics() const {
+  return MetricsSummary::aggregate(rank_metrics());
+}
+
+std::vector<RankMetrics> Engine::rank_metrics() const {
+  std::vector<RankMetrics> out;
+  out.reserve(ranks_.size());
+  for (const auto& rt : ranks_) out.push_back(rt->metrics);
+  return out;
+}
+
+const DegAwareStore& Engine::store(RankId r) const { return ranks_[r]->store; }
+
+std::size_t Engine::total_stored_edges() const {
+  std::size_t n = 0;
+  for (const auto& rt : ranks_) n += rt->store.edge_count();
+  return n;
+}
+
+std::size_t Engine::total_stored_vertices() const {
+  std::size_t n = 0;
+  for (const auto& rt : ranks_) n += rt->store.vertex_count();
+  return n;
+}
+
+std::size_t Engine::store_memory_bytes() const {
+  std::size_t n = 0;
+  for (const auto& rt : ranks_) n += rt->store.memory_bytes();
+  return n;
+}
+
+}  // namespace remo

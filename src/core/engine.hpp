@@ -1,0 +1,235 @@
+// Engine: the on-line incremental graph analytics middleware.
+//
+// The engine owns N shared-nothing ranks (threads). Each rank owns a
+// disjoint vertex partition (consistent hashing, Section III-C), a
+// DegAwareRHH-style topology store (Section III-B), and per-program
+// algorithm state. Ranks exchange only POD visitor messages over FIFO
+// mailboxes — there is no shared algorithm state, no locks on the data
+// path, and no atomics beyond the runtime's termination accounting,
+// mirroring the paper's "no shared memory (nor locking or atomics)" claim
+// at the algorithm level.
+//
+// Lifecycle: attach programs, then ingest streams (synchronously or
+// asynchronously), injecting algorithm init events, "when" queries and
+// global-state collections at any time before, during, or after ingestion
+// (Section V's "system properties that always held true").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/engine_config.hpp"
+#include "core/query.hpp"
+#include "core/snapshot.hpp"
+#include "core/vertex_program.hpp"
+#include "gen/stream.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/partitioner.hpp"
+#include "runtime/safra.hpp"
+#include "storage/degaware_store.hpp"
+
+namespace remo {
+
+/// Outcome of one ingestion run (saturation methodology of Section V-A:
+/// events are offered as fast as ranks can pull them, so events/second is
+/// the maximum real-time rate the configuration can sustain).
+struct IngestStats {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_second = 0.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  RankId num_ranks() const noexcept { return cfg_.num_ranks; }
+  const EngineConfig& config() const noexcept { return cfg_; }
+
+  // --- Programs ------------------------------------------------------------
+
+  /// Attach an algorithm. Must be called while the engine is idle. At most
+  /// 32 programs per engine. Returns the program slot id.
+  ProgramId attach(std::shared_ptr<VertexProgram> program);
+
+  /// Construct-and-attach convenience.
+  template <typename P, typename... Args>
+  std::pair<ProgramId, std::shared_ptr<P>> attach_make(Args&&... args) {
+    auto p = std::make_shared<P>(std::forward<Args>(args)...);
+    return {attach(p), p};
+  }
+
+  std::size_t num_programs() const noexcept { return programs_.size(); }
+  VertexProgram& program(ProgramId p) const { return *programs_[p]; }
+
+  // --- Event injection -------------------------------------------------------
+
+  /// Instantiate program `p` at vertex `v` (e.g. set the BFS source).
+  /// Allowed at any time, including mid-ingestion.
+  void inject_init(ProgramId p, VertexId v);
+
+  /// Feed a single topology event from the application (the streamless
+  /// API used by the examples).
+  void inject_edge(const EdgeEvent& e);
+
+  /// Remove a vertex: materialised as the set of edge-delete events for
+  /// every edge incident to `v` (the paper's Section III-A footnote:
+  /// vertex-related changes are sets of edge changes). Requires
+  /// quiescence so the incident edge set is well defined.
+  void inject_vertex_removal(VertexId v);
+
+  // --- Ingestion -------------------------------------------------------------
+
+  /// Assign stream i to rank (i mod num_ranks) and start pulling. The set
+  /// must outlive the run. Engine must be idle.
+  void ingest_async(const StreamSet& streams);
+
+  /// Block until all streams are exhausted and the system is quiescent.
+  IngestStats await_quiescence();
+
+  /// ingest_async + await_quiescence.
+  IngestStats ingest(const StreamSet& streams);
+
+  /// Process any injected events to quiescence (no streams).
+  void drain();
+
+  /// True when streams are exhausted (or none assigned) and no work is in
+  /// flight anywhere.
+  bool idle() const;
+
+  /// Stop/resume stream pulling; algorithm events keep flowing.
+  void pause_streams() { streams_paused_.store(true, std::memory_order_release); }
+  void resume_streams();
+
+  // --- State access ----------------------------------------------------------
+
+  /// Local state of one vertex. Requires quiescence (use triggers for live
+  /// observation, per Section III-E).
+  StateWord state_of(ProgramId p, VertexId v) const;
+
+  /// Pause streams, drain, gather all non-identity state, resume.
+  Snapshot collect_quiescent(ProgramId p);
+
+  /// Gather the program's auxiliary per-vertex word (e.g. the BFS/SSSP
+  /// parent pointers — the full tree of Section II-C's "global state"
+  /// example). Quiescent only; aux state is not versioned.
+  Snapshot collect_aux_quiescent(ProgramId p);
+
+  /// Chandy-Lamport-style versioned collection (Section III-D): cut the
+  /// streams at "now", keep ingesting the new epoch, and return the state
+  /// at the cut once the old epoch drains. Never pauses the streams.
+  Snapshot collect_versioned(ProgramId p);
+
+  // --- "When" queries (Section III-E) -----------------------------------------
+
+  /// Fire `act` once, when vertex `v`'s state for program `p` first
+  /// satisfies `pred`. If it already does, fires promptly.
+  TriggerId when(ProgramId p, VertexId v, TriggerPredicate pred, TriggerAction act);
+
+  /// Fire `act` whenever *any* vertex's state transitions into `pred`
+  /// (at most once per vertex). Registration is prospective: existing
+  /// satisfied vertices do not fire.
+  TriggerId when_any(ProgramId p, TriggerPredicate pred, TriggerAction act);
+
+  // --- Decremental repair (Section VI-B) ---------------------------------------
+
+  /// Run the invalidate/probe repair waves for one delete-capable program.
+  /// Requires quiescence (deletes already ingested). Both waves execute
+  /// asynchronously and concurrently across ranks.
+  void repair(ProgramId p);
+
+  /// repair() for every program with supports_deletes().
+  void repair_all();
+
+  /// Clear all algorithm state of one program (topology untouched), e.g.
+  /// to rerun a traversal from a different source on the same dynamic
+  /// graph. Requires quiescence.
+  void reset_program(ProgramId p);
+
+  // --- Introspection ------------------------------------------------------------
+
+  MetricsSummary metrics() const;
+  std::vector<RankMetrics> rank_metrics() const;
+
+  /// Topology store of one rank (requires quiescence for consistent reads).
+  const DegAwareStore& store(RankId r) const;
+
+  std::size_t total_stored_edges() const;
+  std::size_t total_stored_vertices() const;
+  std::size_t store_memory_bytes() const;
+
+  const Partitioner& partitioner() const noexcept { return part_; }
+
+  /// True while a versioned collection is splitting state (internal, but
+  /// harmless to observe).
+  bool versioned_collection_active() const noexcept {
+    return versioned_active_.load(std::memory_order_acquire);
+  }
+
+  std::uint16_t current_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class VertexContext;
+
+  void rank_main(RankId r);
+  void process_visitor(detail::RankRuntime& rt, const Visitor& v);
+  void process_topology_add(detail::RankRuntime& rt, const Visitor& v);
+  void process_topology_delete(detail::RankRuntime& rt, const Visitor& v);
+  void emit_program_reverse(detail::RankRuntime& rt, const Visitor& v, ProgramId p,
+                            VisitKind kind);
+  template <typename Invoke>
+  void dispatch_views(detail::RankRuntime& rt, const Visitor& v, ProgramId p,
+                      TwoTierAdjacency* adj, Invoke&& invoke);
+  void handle_control(detail::RankRuntime& rt, const Visitor& v);
+  void handle_safra_idle(detail::RankRuntime& rt);
+  void absorb_pending_triggers(detail::RankRuntime& rt);
+  void do_harvest(detail::RankRuntime& rt, ProgramId p);
+  void do_repair_anchors(detail::RankRuntime& rt, ProgramId p);
+  void do_repair_probes(detail::RankRuntime& rt, ProgramId p);
+  void await_in_flight_zero();
+  Snapshot harvest(ProgramId p);
+
+  EngineConfig cfg_;
+  Partitioner part_;
+  Comm comm_;
+  SafraRing safra_;
+
+  std::vector<std::shared_ptr<VertexProgram>> programs_;
+  std::vector<std::unique_ptr<detail::RankRuntime>> ranks_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> streams_paused_{false};
+  std::atomic<bool> streams_assigned_{false};
+
+  // Versioned-collection epoch machinery (Section III-D).
+  std::atomic<std::uint16_t> epoch_{0};
+  std::atomic<bool> versioned_active_{false};
+
+  // Acknowledgement counters for control fan-outs (harvest / repair).
+  std::atomic<std::uint32_t> control_acks_{0};
+
+  // Serialises collect/repair/ingest phase transitions.
+  mutable std::mutex op_mutex_;
+
+  // Current ingestion run bookkeeping (main thread only).
+  std::chrono::steady_clock::time_point ingest_start_{};
+  std::uint64_t ingest_events_ = 0;
+
+  std::uint64_t next_trigger_id_ = 1;
+};
+
+}  // namespace remo

@@ -1,0 +1,54 @@
+// Engine configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "runtime/partitioner.hpp"
+#include "storage/degaware_store.hpp"
+
+namespace remo {
+
+enum class TerminationMode {
+  kCounting,  ///< exact in-flight counting (default; single-host)
+  kSafra,     ///< Safra's token ring — message-only, deployable over a network
+};
+
+struct EngineConfig {
+  /// Number of shared-nothing ranks (the paper's MPI processes).
+  RankId num_ranks = 2;
+
+  /// Undirected graphs materialise a Reverse-Add at the far owner for every
+  /// Add (Section III-A); directed graphs store each arc once at its source.
+  bool undirected = true;
+
+  /// Send-buffer batch size (visitors aggregate per destination rank).
+  std::size_t batch_size = 128;
+
+  /// How many stream events a rank pulls per loop iteration once its
+  /// mailbox is drained. Small values favour algorithm-event latency;
+  /// large values favour raw ingest (the prioritisation trade-off the
+  /// paper notes at the end of Section V-C).
+  std::size_t stream_chunk = 64;
+
+  TerminationMode termination = TerminationMode::kCounting;
+
+  /// Skip update_all_nbrs sends that the per-edge neighbour-state cache
+  /// proves redundant (VertexProgram::update_is_redundant). Sound for
+  /// monotone programs; off only for the abl_cache_filter ablation.
+  bool nbr_cache_filter = true;
+
+  /// Vertex-to-rank placement (Section III-C; kHash is the paper's).
+  PartitionMode partition = PartitionMode::kHash;
+
+  /// Chaos testing: when nonzero, every rank sleeps a random 0..N µs
+  /// before each loop iteration (seeded deterministically per rank). Used
+  /// by the test suite to widen the asynchronous interleaving space;
+  /// never enable in production configurations.
+  std::uint32_t chaos_delay_us = 0;
+
+  /// Dynamic graph store tuning.
+  StoreConfig store{};
+};
+
+}  // namespace remo

@@ -1,0 +1,122 @@
+// Engine internals shared between engine.cpp and engine_loop.cpp.
+// Not part of the public API.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/query.hpp"
+#include "core/snapshot.hpp"
+#include "gen/stream.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/partitioner.hpp"
+#include "runtime/safra.hpp"
+#include "storage/degaware_store.hpp"
+#include "storage/robin_hood_map.hpp"
+
+namespace remo {
+
+class Engine;
+
+namespace detail {
+
+/// A trigger registration travelling from the caller's thread to the
+/// owning rank's thread.
+struct PendingTrigger {
+  ProgramId prog = 0;
+  bool is_global = false;
+  VertexTrigger vertex_trigger;
+  GlobalTrigger global_trigger;
+};
+
+/// Per-(program, rank) algorithm state.
+struct ProgramRank {
+  RobinHoodMap<VertexId, StateWord> cur;   ///< live state (S_new)
+  RobinHoodMap<VertexId, StateWord> prev;  ///< S_prev during versioned collection
+  RobinHoodMap<VertexId, StateWord> aux;   ///< secondary word (parents, ...)
+  RobinHoodMap<VertexId, std::vector<VertexTrigger>> vertex_triggers;
+  std::size_t vertex_trigger_count = 0;
+  std::vector<GlobalTrigger> global_triggers;
+  std::vector<VertexId> dirty;        ///< decremental repair anchors
+  std::vector<VertexId> invalidated;  ///< phase-A casualties awaiting probes
+};
+
+/// Everything a rank thread owns.
+struct RankRuntime {
+  Engine* engine = nullptr;
+  Comm* comm = nullptr;
+  SafraRing* safra = nullptr;
+  const Partitioner* part = nullptr;
+  RankId rank = 0;
+
+  DegAwareStore store;
+  std::vector<ProgramRank> progs;
+  RankMetrics metrics;
+
+  // Ingestion stream assignment. A rank may own several concurrent streams
+  // (stream i of a StreamSet goes to rank i mod P); it pulls them
+  // round-robin, preserving each stream's internal FIFO order. `streams`
+  // is written by main under the op mutex while `stream_remaining` is zero
+  // (the rank never touches the vector then); the atomic publishes pull
+  // progress to the main thread.
+  struct StreamCursor {
+    const EdgeStream* stream = nullptr;
+    std::size_t pos = 0;
+  };
+  std::vector<StreamCursor> streams;
+  std::size_t next_stream = 0;
+  std::atomic<std::uint64_t> stream_remaining{0};
+
+  // Versioned-collection handshake: last engine epoch this rank observed
+  // at a loop-iteration boundary.
+  std::atomic<std::uint16_t> epoch_seen{0};
+
+  // Safra token currently held (if any).
+  bool holds_token = false;
+  bool token_parked = false;  // restart throttling: forward after one park
+  SafraRing::Token token{};
+
+  // Cross-thread trigger registration.
+  std::mutex reg_mutex;
+  std::vector<PendingTrigger> pending_triggers;
+  std::atomic<bool> has_pending{false};
+
+  // Harvest output slot (written by rank, read by main after the ack).
+  std::mutex harvest_mutex;
+  std::vector<Snapshot::Entry> harvest_out;
+
+  explicit RankRuntime(StoreConfig store_cfg) : store(store_cfg) {}
+
+  /// Route a visitor to the owner of its target vertex.
+  void send(const Visitor& v) {
+    const RankId to = part->owner(v.target);
+    ++metrics.messages_sent;
+    if (to != rank) ++metrics.remote_messages;
+    comm->send(rank, to, v);
+    if (v.kind != VisitKind::kControl) safra->on_basic_send(rank);
+  }
+
+  /// Send a control visitor to a specific rank (tokens address ranks, not
+  /// vertices) and flush so it cannot linger in a send buffer.
+  void send_control(RankId to, const Visitor& v) {
+    ++metrics.messages_sent;
+    ++metrics.control_messages;
+    comm->send(rank, to, v);
+    comm->flush(rank);
+  }
+
+  StateWord cur_value(ProgramId p, VertexId v, StateWord identity) const {
+    const StateWord* c = progs[p].cur.find(v);
+    return c ? *c : identity;
+  }
+};
+
+/// Evaluate and fire "when" triggers for a state transition.
+void fire_triggers(ProgramRank& pr, VertexId v, StateWord old_val, StateWord new_val);
+
+}  // namespace detail
+}  // namespace remo

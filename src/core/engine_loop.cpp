@@ -1,0 +1,453 @@
+// The rank event loop: mailbox draining, stream pulling, visitor dispatch,
+// versioned-view handling, control messages, and Safra token circulation.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/engine_detail.hpp"
+
+namespace remo {
+namespace {
+
+constexpr auto kParkInterval = std::chrono::microseconds(200);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Visitor dispatch with versioned views
+// ---------------------------------------------------------------------------
+
+// Invoke a program callback on the right state view(s) (Section III-D):
+//  * events of the current epoch run on the live state, emitting visitors
+//    tagged with the current epoch;
+//  * events of the *previous* epoch at a vertex whose state has split run
+//    once on S_prev (emitting old-epoch visitors — "subsequent events
+//    inherit the same version") and once on the live state (emitting
+//    current-epoch visitors, so new-epoch dissemination stays complete);
+//  * old-epoch events at unsplit vertices run once on the shared state,
+//    inheriting the old tag.
+template <typename Invoke>
+void Engine::dispatch_views(detail::RankRuntime& rt, const Visitor& v, ProgramId p,
+                            TwoTierAdjacency* adj, Invoke&& invoke) {
+  ++rt.metrics.algorithm_events;
+  const std::uint16_t cur_epoch = epoch_.load(std::memory_order_acquire);
+  const bool old_event =
+      versioned_active_.load(std::memory_order_acquire) && v.epoch != cur_epoch;
+  if (old_event && rt.progs[p].prev.contains(v.target)) {
+    VertexContext prev_ctx(rt, p, v.target, adj, v.epoch, /*prev_view=*/true);
+    invoke(prev_ctx);
+    VertexContext cur_ctx(rt, p, v.target, adj, cur_epoch, /*prev_view=*/false);
+    invoke(cur_ctx);
+  } else {
+    VertexContext ctx(rt, p, v.target, adj, v.epoch, /*prev_view=*/false);
+    invoke(ctx);
+  }
+}
+
+// Emit the per-program half of a Reverse-Add/Delete: the visitor carries
+// this vertex's state (vis_val) to the far endpoint. During a versioned
+// collection with a split, both views' values travel under their tags.
+void Engine::emit_program_reverse(detail::RankRuntime& rt, const Visitor& v,
+                                  ProgramId p, VisitKind kind) {
+  detail::ProgramRank& pr = rt.progs[p];
+  const StateWord identity = programs_[p]->identity();
+  const StateWord cur_val = rt.cur_value(p, v.target, identity);
+  const std::uint16_t cur_epoch = epoch_.load(std::memory_order_acquire);
+  const bool old_event =
+      versioned_active_.load(std::memory_order_acquire) && v.epoch != cur_epoch;
+  if (old_event && pr.prev.contains(v.target)) {
+    rt.send(Visitor{v.other, v.target, *pr.prev.find(v.target), v.weight, kind, p,
+                    v.epoch});
+    rt.send(Visitor{v.other, v.target, cur_val, v.weight, kind, p, cur_epoch});
+  } else {
+    rt.send(Visitor{v.other, v.target, cur_val, v.weight, kind, p, v.epoch});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Topology events
+// ---------------------------------------------------------------------------
+
+void Engine::process_topology_add(detail::RankRuntime& rt, const Visitor& v) {
+  ++rt.metrics.topology_events;
+  const auto res = rt.store.insert_edge(v.target, v.other, v.weight);
+  if (res.new_edge) ++rt.metrics.edges_stored;
+  TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+  for (ProgramId p = 0; p < rt.progs.size(); ++p)
+    dispatch_views(rt, v, p, adj, [&](VertexContext& ctx) {
+      programs_[p]->on_add(ctx, v.other, v.weight);
+    });
+  if (cfg_.undirected && v.target != v.other) {
+    // Reverse-Add carries the topology change AND this vertex's program
+    // state in one visitor (Algorithm 3's REVERSE_ADD does both): the
+    // program-tagged handler inserts the reverse edge idempotently before
+    // running its callback, so no separate topology visitor is needed
+    // unless no program is attached.
+    if (rt.progs.empty()) {
+      rt.send(Visitor{v.other, v.target, 0, v.weight, VisitKind::kReverseAdd,
+                      Visitor::kTopologyAlgo, v.epoch});
+    } else {
+      for (ProgramId p = 0; p < rt.progs.size(); ++p)
+        emit_program_reverse(rt, v, p, VisitKind::kReverseAdd);
+    }
+  }
+}
+
+void Engine::process_topology_delete(detail::RankRuntime& rt, const Visitor& v) {
+  ++rt.metrics.topology_events;
+  const bool removed = rt.store.erase_edge(v.target, v.other);
+  if (removed) --rt.metrics.edges_stored;
+  TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+  for (ProgramId p = 0; p < rt.progs.size(); ++p)
+    dispatch_views(rt, v, p, adj, [&](VertexContext& ctx) {
+      programs_[p]->on_delete(ctx, v.other, v.weight);
+    });
+  if (cfg_.undirected && removed && v.target != v.other) {
+    if (rt.progs.empty()) {
+      rt.send(Visitor{v.other, v.target, 0, v.weight, VisitKind::kReverseDelete,
+                      Visitor::kTopologyAlgo, v.epoch});
+    } else {
+      for (ProgramId p = 0; p < rt.progs.size(); ++p)
+        emit_program_reverse(rt, v, p, VisitKind::kReverseDelete);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Main dispatch
+// ---------------------------------------------------------------------------
+
+void Engine::process_visitor(detail::RankRuntime& rt, const Visitor& v) {
+  switch (v.kind) {
+    case VisitKind::kAdd:
+      process_topology_add(rt, v);
+      break;
+
+    case VisitKind::kDelete:
+      process_topology_delete(rt, v);
+      break;
+
+    case VisitKind::kReverseAdd: {
+      // Fused topology + program visitor: materialise the reverse edge
+      // first (idempotent — with several programs each one's Reverse-Add
+      // re-asserts it), then run the program callback.
+      const auto res = rt.store.insert_edge(v.target, v.other, v.weight);
+      if (res.new_edge) ++rt.metrics.edges_stored;
+      if (v.algo != Visitor::kTopologyAlgo) {
+        TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+        // Deposit the sender's state into the edge cache (Algorithm 3:
+        // this.nbrs.set(vis_ID, vis_val)).
+        if (adj)
+          if (EdgeProp* prop = adj->find(v.other)) prop->set_cache(v.algo, v.value);
+        dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
+          programs_[v.algo]->on_reverse_add(ctx, v.other, v.value, v.weight);
+        });
+      }
+      break;
+    }
+
+    case VisitKind::kReverseDelete:
+      if (rt.store.erase_edge(v.target, v.other)) --rt.metrics.edges_stored;
+      if (v.algo != Visitor::kTopologyAlgo) {
+        TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+        dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
+          programs_[v.algo]->on_reverse_delete(ctx, v.other, v.weight);
+        });
+      }
+      break;
+
+    case VisitKind::kUpdate: {
+      TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+      if (adj)
+        if (EdgeProp* prop = adj->find(v.other)) prop->set_cache(v.algo, v.value);
+      dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
+        programs_[v.algo]->on_update(ctx, v.other, v.value, v.weight);
+      });
+      break;
+    }
+
+    case VisitKind::kInit: {
+      TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+      dispatch_views(rt, v, v.algo, adj,
+                     [&](VertexContext& ctx) { programs_[v.algo]->init(ctx); });
+      break;
+    }
+
+    case VisitKind::kInvalidate: {
+      TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+      // The sender's state just worsened: whatever it previously deposited
+      // in our edge cache no longer bounds its live state. Reset it so the
+      // redundancy filter cannot suppress the reconvergence updates.
+      if (adj)
+        if (EdgeProp* prop = adj->find(v.other)) prop->clear_cache();
+      dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
+        programs_[v.algo]->on_invalidate(ctx, v.other);
+      });
+      break;
+    }
+
+    case VisitKind::kProbe: {
+      TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+      dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
+        programs_[v.algo]->on_probe(ctx, v.other);
+      });
+      break;
+    }
+
+    case VisitKind::kControl:
+      REMO_CHECK_MSG(false, "control visitors are handled before dispatch");
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control messages
+// ---------------------------------------------------------------------------
+
+void Engine::do_harvest(detail::RankRuntime& rt, ProgramId p) {
+  const StateWord identity = programs_[p]->identity();
+  detail::ProgramRank& pr = rt.progs[p];
+  {
+    std::lock_guard guard(rt.harvest_mutex);
+    rt.harvest_out.clear();
+    pr.cur.for_each([&](const VertexId& v, StateWord& cur_val) {
+      const StateWord* frozen = pr.prev.find(v);
+      const StateWord val = frozen ? *frozen : cur_val;
+      if (val != identity) rt.harvest_out.emplace_back(v, val);
+    });
+  }
+  // Retire every program's S_prev: the epoch is over for the whole engine,
+  // and stale splits would poison the next collection.
+  for (auto& each : rt.progs) each.prev.clear();
+  control_acks_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Engine::do_repair_anchors(detail::RankRuntime& rt, ProgramId p) {
+  detail::ProgramRank& pr = rt.progs[p];
+  std::vector<VertexId> anchors;
+  anchors.swap(pr.dirty);
+  std::sort(anchors.begin(), anchors.end());
+  anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+  const std::uint16_t epoch = epoch_.load(std::memory_order_acquire);
+  for (const VertexId v : anchors) {
+    VertexContext ctx(rt, p, v, rt.store.adjacency(v), epoch, /*prev_view=*/false);
+    programs_[p]->on_repair_anchor(ctx);
+  }
+  comm_.flush(rt.rank);
+  control_acks_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Engine::do_repair_probes(detail::RankRuntime& rt, ProgramId p) {
+  detail::ProgramRank& pr = rt.progs[p];
+  std::vector<VertexId> casualties;
+  casualties.swap(pr.invalidated);
+  std::sort(casualties.begin(), casualties.end());
+  casualties.erase(std::unique(casualties.begin(), casualties.end()),
+                   casualties.end());
+  const std::uint16_t epoch = epoch_.load(std::memory_order_acquire);
+  for (const VertexId v : casualties) {
+    VertexContext ctx(rt, p, v, rt.store.adjacency(v), epoch, /*prev_view=*/false);
+    ctx.send_probe_all_nbrs();
+  }
+  comm_.flush(rt.rank);
+  control_acks_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Engine::handle_control(detail::RankRuntime& rt, const Visitor& v) {
+  ++rt.metrics.control_messages;
+  switch (static_cast<ControlOp>(v.other)) {
+    case ControlOp::kSafraToken:
+      // v.target carries the probe generation; stale tokens die here.
+      if (v.target == safra_.generation()) {
+        rt.holds_token = true;
+        rt.token_parked = false;
+        rt.token = SafraRing::Token{std::bit_cast<std::int64_t>(v.value),
+                                    v.weight != 0};
+      }
+      break;
+    case ControlOp::kHarvest:
+      do_harvest(rt, v.algo);
+      break;
+    case ControlOp::kRepairAnchors:
+      do_repair_anchors(rt, v.algo);
+      break;
+    case ControlOp::kRepairProbes:
+      do_repair_probes(rt, v.algo);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Safra circulation (only active in TerminationMode::kSafra)
+// ---------------------------------------------------------------------------
+
+void Engine::handle_safra_idle(detail::RankRuntime& rt) {
+  if (safra_.terminated()) return;
+  const RankId r = rt.rank;
+
+  auto send_token = [&](RankId to, const SafraRing::Token& tok) {
+    Visitor v{};
+    v.kind = VisitKind::kControl;
+    v.other = static_cast<std::uint64_t>(ControlOp::kSafraToken);
+    v.value = std::bit_cast<StateWord>(tok.count);
+    v.weight = tok.black ? 1 : 0;
+    v.target = safra_.generation();
+    rt.send_control(to, v);
+    comm_.mailbox(to).interrupt();
+  };
+
+  if (rt.holds_token) {
+    if (rt.token_parked) {
+      // A restarted probe waits one park interval before re-circulating so
+      // an idle-but-unterminated system doesn't spin tokens continuously.
+      rt.token_parked = false;
+      rt.holds_token = false;
+      send_token(safra_.next(r), rt.token);
+      return;
+    }
+    switch (safra_.on_token(r, rt.token)) {
+      case SafraRing::TokenAction::kForward:
+        rt.holds_token = false;
+        send_token(safra_.next(r), rt.token);
+        break;
+      case SafraRing::TokenAction::kTerminated:
+        rt.holds_token = false;
+        break;
+      case SafraRing::TokenAction::kRestart:
+        rt.token_parked = true;  // forward after the next park
+        break;
+    }
+    return;
+  }
+
+  if (r == 0 && safra_.start_probe(0)) send_token(safra_.next(0), SafraRing::Token{});
+}
+
+// ---------------------------------------------------------------------------
+// Trigger absorption
+// ---------------------------------------------------------------------------
+
+void Engine::absorb_pending_triggers(detail::RankRuntime& rt) {
+  if (!rt.has_pending.load(std::memory_order_acquire)) return;
+  std::vector<detail::PendingTrigger> pending;
+  {
+    std::lock_guard guard(rt.reg_mutex);
+    pending.swap(rt.pending_triggers);
+    rt.has_pending.store(false, std::memory_order_release);
+  }
+  for (auto& pt : pending) {
+    detail::ProgramRank& pr = rt.progs[pt.prog];
+    if (pt.is_global) {
+      pr.global_triggers.push_back(std::move(pt.global_trigger));
+      continue;
+    }
+    // Vertex trigger: fire promptly when already satisfied.
+    const StateWord val =
+        rt.cur_value(pt.prog, pt.vertex_trigger.vertex, programs_[pt.prog]->identity());
+    if (pt.vertex_trigger.predicate(val)) {
+      pt.vertex_trigger.action(pt.vertex_trigger.vertex, val);
+      continue;
+    }
+    pr.vertex_triggers.get_or_insert(pt.vertex_trigger.vertex)
+        .push_back(std::move(pt.vertex_trigger));
+    ++pr.vertex_trigger_count;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rank main loop
+// ---------------------------------------------------------------------------
+
+void Engine::rank_main(RankId r) {
+  detail::RankRuntime& rt = *ranks_[r];
+  std::vector<Visitor> batch;
+  Xoshiro256 chaos_rng(0xC4A05ULL * (r + 1));
+
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (cfg_.chaos_delay_us != 0) {
+      // Chaos mode: random per-iteration delays widen the interleaving
+      // space the correctness tests explore.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(chaos_rng.bounded(cfg_.chaos_delay_us)));
+    }
+    // Publish the epoch this iteration operates under (versioned-collection
+    // handshake: after the main thread has seen `epoch_seen == new`, no
+    // old-tagged injection from this rank can follow).
+    const std::uint16_t iter_epoch = epoch_.load(std::memory_order_acquire);
+    rt.epoch_seen.store(iter_epoch, std::memory_order_release);
+
+    absorb_pending_triggers(rt);
+
+    bool did_work = false;
+
+    // 1) Drain the mailbox: algorithm events take priority over new
+    //    topology pulls (Section V-C's prioritisation).
+    if (comm_.mailbox(r).drain(batch)) {
+      did_work = true;
+      for (const Visitor& v : batch) {
+        if (v.kind == VisitKind::kControl) {
+          handle_control(rt, v);
+        } else {
+          safra_.on_basic_receive(r);
+          process_visitor(rt, v);
+          comm_.note_processed(v.epoch);
+        }
+      }
+      comm_.flush(r);
+      continue;
+    }
+
+    // 2) Saturation ingest: pull the next chunk from this rank's streams
+    //    (round-robin across them — streams are mutually concurrent, each
+    //    internally FIFO).
+    if (rt.stream_remaining.load(std::memory_order_relaxed) > 0 &&
+        !streams_paused_.load(std::memory_order_acquire)) {
+      for (std::size_t pulled = 0; pulled < cfg_.stream_chunk; ++pulled) {
+        detail::RankRuntime::StreamCursor* sc = nullptr;
+        for (std::size_t tries = 0; tries < rt.streams.size(); ++tries) {
+          auto& cand = rt.streams[rt.next_stream];
+          rt.next_stream = (rt.next_stream + 1) % rt.streams.size();
+          if (cand.pos < cand.stream->size()) {
+            sc = &cand;
+            break;
+          }
+        }
+        if (!sc) break;
+        const EdgeEvent& e = (*sc->stream)[sc->pos++];
+        Visitor vis{e.src, e.dst, 0, e.weight,
+                    e.op == EdgeOp::kAdd ? VisitKind::kAdd : VisitKind::kDelete,
+                    Visitor::kTopologyAlgo, iter_epoch};
+        did_work = true;
+        if (part_.owner(e.src) == r) {
+          comm_.note_injected(iter_epoch);
+          rt.stream_remaining.fetch_sub(1, std::memory_order_release);
+          process_visitor(rt, vis);
+          comm_.note_processed(iter_epoch);
+        } else {
+          rt.send(vis);
+          rt.stream_remaining.fetch_sub(1, std::memory_order_release);
+        }
+      }
+      if (did_work) {
+        comm_.flush(r);
+        continue;
+      }
+    }
+
+    // 3) Locally passive: flush, circulate termination tokens, park.
+    comm_.flush(r);
+    if (cfg_.termination == TerminationMode::kSafra) {
+      const bool stream_passive =
+          rt.stream_remaining.load(std::memory_order_relaxed) == 0 ||
+          streams_paused_.load(std::memory_order_acquire);
+      if (stream_passive && comm_.mailbox(r).empty()) handle_safra_idle(rt);
+    }
+    comm_.mailbox(r).wait(kParkInterval);
+  }
+}
+
+}  // namespace remo

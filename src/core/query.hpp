@@ -1,0 +1,46 @@
+// "When" queries — local-state triggers (Sections II and III-E).
+//
+// A trigger binds a predicate over a vertex's local algorithm state to a
+// user callback. For REMO programs the predicate is expected to be
+// *monotone* (once true, true forever given add-only events): the paper's
+// two guarantees — no false positives and fire-exactly-once — then follow,
+// and the engine enforces the exactly-once part by retiring a trigger when
+// it fires.
+//
+// Callbacks run inline on the owning rank's thread, at the instant the
+// state transition happens; they must not block and must be thread-safe
+// with respect to the caller's own data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace remo {
+
+/// Predicate over a vertex's local state word.
+using TriggerPredicate = std::function<bool(StateWord)>;
+
+/// Fired with the vertex and the state value that satisfied the predicate.
+using TriggerAction = std::function<void(VertexId, StateWord)>;
+
+struct VertexTrigger {
+  VertexId vertex = kInvalidVertex;
+  TriggerPredicate predicate;
+  TriggerAction action;
+};
+
+/// A trigger evaluated on *every* vertex state change on the rank that owns
+/// the changing vertex ("notify whenever any account connects to a flagged
+/// source"). Unlike VertexTrigger it is not retired after firing; it fires
+/// at most once per vertex.
+struct GlobalTrigger {
+  TriggerPredicate predicate;
+  TriggerAction action;
+};
+
+/// Handle for a registered trigger (diagnostics / tests).
+using TriggerId = std::uint64_t;
+
+}  // namespace remo

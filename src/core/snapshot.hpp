@@ -1,0 +1,50 @@
+// Snapshot: discretised global algorithm state (Section II-C / III-D).
+//
+// A snapshot holds, for one program, every vertex whose state differs from
+// the program's identity at the discretisation point. Produced either by
+// Engine::collect_quiescent (drain, then gather) or by
+// Engine::collect_versioned (Chandy-Lamport-style epoch split — ingestion
+// keeps running while the previous epoch drains).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace remo {
+
+class Snapshot {
+ public:
+  using Entry = std::pair<VertexId, StateWord>;
+
+  Snapshot() = default;
+  Snapshot(std::vector<Entry> entries, StateWord identity)
+      : entries_(std::move(entries)), identity_(identity) {
+    std::sort(entries_.begin(), entries_.end());
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// State of `v` at the snapshot point; identity when untouched.
+  StateWord at(VertexId v) const noexcept {
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), v,
+                               [](const Entry& e, VertexId key) { return e.first < key; });
+    return (it != entries_.end() && it->first == v) ? it->second : identity_;
+  }
+
+  StateWord identity() const noexcept { return identity_; }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+
+ private:
+  std::vector<Entry> entries_;  // sorted by vertex id
+  StateWord identity_ = kInfiniteState;
+};
+
+}  // namespace remo

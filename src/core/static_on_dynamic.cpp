@@ -1,0 +1,67 @@
+#include "core/static_on_dynamic.hpp"
+
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace remo {
+namespace {
+
+const TwoTierAdjacency* adjacency_of(const Engine& engine, VertexId v) {
+  return engine.store(engine.partitioner().owner(v)).adjacency(v);
+}
+
+}  // namespace
+
+RobinHoodMap<VertexId, StateWord> static_bfs_on_store(const Engine& engine,
+                                                      VertexId source) {
+  RobinHoodMap<VertexId, StateWord> level;
+  std::deque<VertexId> frontier;
+  level.insert_or_assign(source, 1);
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    const StateWord lu = *level.find(u);
+    const TwoTierAdjacency* adj = adjacency_of(engine, u);
+    if (!adj) continue;
+    adj->for_each([&](VertexId v, const EdgeProp&) {
+      if (!level.contains(v)) {
+        level.insert_or_assign(v, lu + 1);
+        frontier.push_back(v);
+      }
+    });
+  }
+  return level;
+}
+
+RobinHoodMap<VertexId, StateWord> static_sssp_on_store(const Engine& engine,
+                                                       VertexId source) {
+  RobinHoodMap<VertexId, StateWord> dist;
+  using Entry = std::pair<StateWord, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist.insert_or_assign(source, 1);
+  heap.emplace(1, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    const StateWord* cur = dist.find(u);
+    if (!cur || *cur != d) continue;
+    const TwoTierAdjacency* adj = adjacency_of(engine, u);
+    if (!adj) continue;
+    adj->for_each([&](VertexId v, const EdgeProp& prop) {
+      const StateWord nd = d + prop.weight;
+      StateWord& dv = dist.get_or_insert(v);
+      if (dv == 0 || nd < dv) {  // freshly inserted entries default to 0
+        dv = nd;
+        heap.emplace(nd, v);
+      }
+    });
+  }
+  return dist;
+}
+
+}  // namespace remo

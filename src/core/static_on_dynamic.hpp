@@ -1,0 +1,26 @@
+// Static algorithms executed over the dynamic store.
+//
+// Section V-B's middle bar: "one can use the constructed dynamic
+// data-structure and execute any known static algorithm on top of it".
+// These walkers traverse the engine's per-rank DegAwareStores directly
+// (engine must be quiescent / paused); each state write lands in a dynamic
+// hash location rather than a dense CSR buffer, which is exactly the
+// static-on-dynamic overhead the paper measures.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/engine.hpp"
+#include "storage/robin_hood_map.hpp"
+
+namespace remo {
+
+/// BFS levels over the engine's current topology (source level 1,
+/// unreached vertices absent from the result).
+RobinHoodMap<VertexId, StateWord> static_bfs_on_store(const Engine& engine,
+                                                      VertexId source);
+
+/// Dijkstra distances over the engine's current topology.
+RobinHoodMap<VertexId, StateWord> static_sssp_on_store(const Engine& engine,
+                                                       VertexId source);
+
+}  // namespace remo

@@ -1,0 +1,202 @@
+// The event-centric programming model (Section III-A, Algorithm 3).
+//
+// An algorithm is a stateless VertexProgram: a bundle of callbacks invoked
+// by the engine when a visitor reaches a vertex. All per-vertex state lives
+// in engine-owned, rank-local stores and is reached through the
+// VertexContext handed to each callback — programs themselves hold only
+// immutable configuration (e.g. the BFS source id), so one instance safely
+// serves every rank.
+//
+// Callback vocabulary (mirrors the paper's virtual add / reverse_add /
+// update / init, plus the Section VI-B decremental extension):
+//   init          — algorithm instantiation at a vertex, any time
+//   on_add        — an out-edge (vertex -> nbr) was just inserted here
+//   on_reverse_add— the far side of an undirected insert; nbr_val carries
+//                   the adding vertex's state (vis_val)
+//   on_update     — algorithm-generated propagation (vis_ID, vis_val)
+//   on_delete / on_reverse_delete / on_repair_invalidate / on_invalidate /
+//   on_probe      — decremental support; see Engine::repair()
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "storage/adjacency.hpp"
+
+namespace remo {
+
+class Engine;
+namespace detail {
+struct RankRuntime;
+}
+
+/// Program slot index inside an engine.
+using ProgramId = std::uint8_t;
+
+/// Handle to one vertex's state plus the messaging surface, valid only for
+/// the duration of a callback. All operations are rank-local or enqueue
+/// visitors; nothing blocks.
+class VertexContext {
+ public:
+  /// The vertex being visited.
+  VertexId vertex() const noexcept { return vertex_; }
+
+  /// This vertex's current algorithm state (program identity if untouched).
+  StateWord value() const;
+
+  /// Overwrite the state. Fires any matching "when" triggers. During a
+  /// versioned collection the engine transparently maintains the S_prev /
+  /// S_new split (Section III-D) around this call.
+  void set_value(StateWord v);
+
+  /// Secondary per-vertex word (e.g. the BFS/SSSP parent pointer used for
+  /// deterministic trees and decremental repair). kInfiniteState if unset.
+  StateWord aux() const;
+  void set_aux(StateWord v);
+
+  /// Owned adjacency of vertex(); nullptr when no out-edges exist yet.
+  /// Iterate with adj()->for_each([&](VertexId nbr, EdgeProp& p) { ... }).
+  TwoTierAdjacency* adj() const noexcept { return adj_; }
+
+  std::size_t degree() const noexcept { return adj_ ? adj_->degree() : 0; }
+
+  Weight edge_weight(VertexId nbr) const noexcept {
+    return adj_ ? adj_->weight_of(nbr) : kDefaultWeight;
+  }
+
+  /// Whether the engine materialises reverse edges (EngineConfig::undirected).
+  /// Programs use this to decide if an explicit forward push is needed on
+  /// on_add (directed mode has no Reverse-Add to carry the value across).
+  bool undirected() const;
+
+  /// Send an Update visitor carrying `value` to one vertex. The weight is
+  /// looked up from this vertex's adjacency (paper: getEdgeWeight).
+  void update_single_nbr(VertexId nbr, StateWord value);
+
+  /// Send an Update visitor carrying `value` across every owned edge
+  /// (paper: update_nbrs).
+  void update_all_nbrs(StateWord value);
+
+  /// Decremental support (Section VI-B; see Engine::repair):
+  /// flag this vertex as a repair anchor — its program will be asked to
+  /// re-examine it when the next repair pass starts.
+  void mark_dirty();
+  /// Record this vertex as invalidated during repair phase A (it will
+  /// probe its neighbourhood in phase B).
+  void send_invalidate_all_nbrs();
+  void send_probe_all_nbrs();
+  void mark_invalid();
+
+ private:
+  friend class Engine;
+  VertexContext(detail::RankRuntime& rt, ProgramId prog, VertexId vertex,
+                TwoTierAdjacency* adj, std::uint16_t epoch, bool prev_view)
+      : rt_(&rt), vertex_(vertex), adj_(adj), prog_(prog), epoch_(epoch),
+        prev_view_(prev_view) {}
+
+  detail::RankRuntime* rt_;
+  VertexId vertex_;
+  TwoTierAdjacency* adj_;
+  ProgramId prog_;
+  std::uint16_t epoch_;
+  bool prev_view_;  // operating on S_prev during a versioned collection
+};
+
+/// Base class for REMO algorithms.
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  virtual std::string name() const = 0;
+
+  /// State of a vertex no event has touched (BFS/SSSP: infinity; CC /
+  /// S-T / degree: 0).
+  virtual StateWord identity() const = 0;
+
+  /// True when `a` is at least as converged as `b` in the program's
+  /// monotone order (BFS: a <= b). Drives monotonicity property tests.
+  virtual bool no_worse(StateWord a, StateWord b) const { return a <= b; }
+
+  /// Neighbour-cache suppression (the optimisation Algorithm 3's per-edge
+  /// `nbrs` values enable): before update_all_nbrs sends `value` to a
+  /// neighbour, the engine consults the last state heard *from* that
+  /// neighbour. Return true when that cached state proves the send is
+  /// useless. Sound for monotone programs: a neighbour's live state is
+  /// always no-worse than anything it ever sent, so if the cached value is
+  /// already no-worse than `value`, the receiver can neither improve from
+  /// it nor needs to reply (its earlier message was already incorporated
+  /// here). Default: never suppress.
+  virtual bool update_is_redundant(StateWord nbr_cache, StateWord value) const {
+    (void)nbr_cache;
+    (void)value;
+    return false;
+  }
+
+  /// Algorithm instantiation at `ctx.vertex()` (paper: init()).
+  virtual void init(VertexContext& ctx) { (void)ctx; }
+
+  /// Edge (vertex -> nbr, weight w) inserted at this owner.
+  virtual void on_add(VertexContext& ctx, VertexId nbr, Weight w) {
+    (void)ctx;
+    (void)nbr;
+    (void)w;
+  }
+
+  /// Far side of an undirected insert; nbr_val is the adding vertex's
+  /// state at add time (vis_val of Algorithm 3's REVERSE_ADD).
+  virtual void on_reverse_add(VertexContext& ctx, VertexId nbr, StateWord nbr_val,
+                              Weight w) {
+    (void)ctx;
+    (void)nbr;
+    (void)nbr_val;
+    (void)w;
+  }
+
+  /// Propagation event from `from` carrying its state `from_val` over an
+  /// edge of weight w.
+  virtual void on_update(VertexContext& ctx, VertexId from, StateWord from_val,
+                         Weight w) {
+    (void)ctx;
+    (void)from;
+    (void)from_val;
+    (void)w;
+  }
+
+  // --- Decremental extension (Section VI-B) -------------------------------
+
+  /// Whether Engine::repair() should drive this program's delete recovery.
+  virtual bool supports_deletes() const { return false; }
+
+  /// Edge (vertex -> nbr) deleted at this owner (topology already updated).
+  virtual void on_delete(VertexContext& ctx, VertexId nbr, Weight w) {
+    (void)ctx;
+    (void)nbr;
+    (void)w;
+  }
+
+  virtual void on_reverse_delete(VertexContext& ctx, VertexId nbr, Weight w) {
+    (void)ctx;
+    (void)nbr;
+    (void)w;
+  }
+
+  /// Repair phase A entry: re-examine a dirty anchor (a vertex whose
+  /// support may have been severed). Typically: if the lost neighbour was
+  /// this vertex's parent, mark_invalid() + send_invalidate_all_nbrs().
+  virtual void on_repair_anchor(VertexContext& ctx) { (void)ctx; }
+
+  /// Repair phase A propagation: neighbour `from` was invalidated.
+  virtual void on_invalidate(VertexContext& ctx, VertexId from) {
+    (void)ctx;
+    (void)from;
+  }
+
+  /// Repair phase B: neighbour `from` (invalidated) asks for support.
+  /// Default: offer our value if we have one.
+  virtual void on_probe(VertexContext& ctx, VertexId from) {
+    if (ctx.value() != identity()) ctx.update_single_nbr(from, ctx.value());
+  }
+};
+
+}  // namespace remo

@@ -1,0 +1,71 @@
+#include "gen/datasets.hpp"
+
+#include <cstdlib>
+
+#include "gen/pref_attach.hpp"
+#include "gen/rmat.hpp"
+
+namespace remo {
+namespace {
+
+std::uint64_t shifted(std::uint64_t base, int shift) {
+  return shift >= 0 ? base << shift : base >> (-shift);
+}
+
+}  // namespace
+
+Dataset make_synth_twitter(const DatasetScale& s) {
+  PrefAttachParams p;
+  p.num_vertices = shifted(std::uint64_t{1} << 15, s.scale_shift);
+  p.edges_per_vertex = 16;
+  p.seed = s.seed;
+  return Dataset{"synth-twitter", "Twitter [20]", /*undirected=*/true,
+                 generate_pref_attach(p)};
+}
+
+Dataset make_synth_friendster(const DatasetScale& s) {
+  PrefAttachParams p;
+  p.num_vertices = shifted(std::uint64_t{1} << 16, s.scale_shift);
+  p.edges_per_vertex = 24;
+  p.seed = s.seed + 1;
+  return Dataset{"synth-friendster", "Friendster [25]", /*undirected=*/true,
+                 generate_pref_attach(p)};
+}
+
+Dataset make_synth_web(const DatasetScale& s) {
+  RmatParams p;
+  p.scale = static_cast<std::uint32_t>(15 + s.scale_shift);
+  p.edge_factor = 20;
+  p.a = 0.65;
+  p.b = 0.15;
+  p.c = 0.15;
+  p.seed = s.seed + 2;
+  return Dataset{"synth-web", "SK2005 [26] / Webgraph [27]", /*undirected=*/true,
+                 generate_rmat(p)};
+}
+
+Dataset make_rmat(std::uint32_t scale, std::uint64_t seed) {
+  RmatParams p;
+  p.scale = scale;
+  p.seed = seed;
+  Dataset d{"rmat-" + std::to_string(scale), "RMAT(" + std::to_string(scale) + ")",
+            /*undirected=*/true, generate_rmat(p)};
+  return d;
+}
+
+std::vector<Dataset> table1_datasets(const DatasetScale& s) {
+  std::vector<Dataset> out;
+  out.push_back(make_synth_friendster(s));
+  out.push_back(make_synth_twitter(s));
+  out.push_back(make_synth_web(s));
+  out.push_back(make_rmat(static_cast<std::uint32_t>(15 + s.scale_shift), s.seed));
+  return out;
+}
+
+DatasetScale bench_scale_from_env() {
+  DatasetScale s;
+  if (const char* env = std::getenv("REMO_BENCH_SCALE")) s.scale_shift = std::atoi(env);
+  return s;
+}
+
+}  // namespace remo

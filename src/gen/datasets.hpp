@@ -1,0 +1,52 @@
+// Named synthetic dataset registry — the stand-ins for Table I.
+//
+// The paper evaluates on Friendster, Twitter, SK2005, Webgraph and RMAT.
+// The real datasets are not available offline; per DESIGN.md §3 we
+// substitute generators that reproduce their structural character (heavy
+// power-law tails for the social graphs, deeper/sparser skew for the web
+// crawls) at a scale the host can hold. Every dataset accepts a scale knob
+// so benches can shrink or grow uniformly (REMO_BENCH_SCALE).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace remo {
+
+struct Dataset {
+  std::string name;        ///< e.g. "synth-twitter"
+  std::string stands_for;  ///< the paper dataset it substitutes
+  bool undirected = true;
+  EdgeList edges;          ///< directed half; reverse via engine/CSR
+};
+
+/// Scale parameter: vertex counts are multiplied by 2^(scale_shift).
+/// scale_shift 0 is the default bench size (fits a laptop-class host).
+struct DatasetScale {
+  int scale_shift = 0;
+  std::uint64_t seed = 1;
+};
+
+/// synth-twitter: preferential attachment, ~2^16 vertices x 16 edges.
+Dataset make_synth_twitter(const DatasetScale& s = {});
+
+/// synth-friendster: preferential attachment, larger and denser tail.
+Dataset make_synth_friendster(const DatasetScale& s = {});
+
+/// synth-web: RMAT with stronger skew (a=0.65) — SK2005/Webgraph stand-in.
+Dataset make_synth_web(const DatasetScale& s = {});
+
+/// rmat-<scale>: Graph500-parameter RMAT.
+Dataset make_rmat(std::uint32_t scale, std::uint64_t seed = 1);
+
+/// All four Table-I-style datasets at the given scale.
+std::vector<Dataset> table1_datasets(const DatasetScale& s = {});
+
+/// Reads REMO_BENCH_SCALE from the environment (default 0) so every bench
+/// binary scales uniformly.
+DatasetScale bench_scale_from_env();
+
+}  // namespace remo

@@ -1,0 +1,22 @@
+#include "gen/erdos_renyi.hpp"
+
+#include "common/rng.hpp"
+
+namespace remo {
+
+EdgeList generate_erdos_renyi(const ErdosRenyiParams& p) {
+  Xoshiro256 rng(p.seed);
+  EdgeList edges;
+  edges.reserve(p.num_edges);
+  for (std::uint64_t i = 0; i < p.num_edges; ++i) {
+    VertexId src = rng.bounded(p.num_vertices);
+    VertexId dst = rng.bounded(p.num_vertices);
+    if (!p.allow_self_loops) {
+      while (dst == src) dst = rng.bounded(p.num_vertices);
+    }
+    edges.push_back(Edge{src, dst, kDefaultWeight});
+  }
+  return edges;
+}
+
+}  // namespace remo

@@ -1,0 +1,21 @@
+// Erdos-Renyi G(n, m): m uniformly random directed edges over n vertices.
+// Used by tests as a structure-free counterpoint to the scale-free
+// generators (RMAT / preferential attachment).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace remo {
+
+struct ErdosRenyiParams {
+  std::uint64_t num_vertices = 1024;
+  std::uint64_t num_edges = 8192;
+  bool allow_self_loops = false;
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_erdos_renyi(const ErdosRenyiParams& params);
+
+}  // namespace remo

@@ -1,0 +1,45 @@
+#include "gen/pref_attach.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace remo {
+
+EdgeList generate_pref_attach(const PrefAttachParams& p) {
+  REMO_CHECK(p.seed_clique >= 2);
+  REMO_CHECK(p.num_vertices >= p.seed_clique);
+  Xoshiro256 rng(p.seed);
+
+  EdgeList edges;
+  edges.reserve(p.num_vertices * p.edges_per_vertex);
+
+  // Degree-proportional sampling via the endpoint-list trick: picking a
+  // uniformly random endpoint of a uniformly random existing edge selects
+  // a vertex with probability proportional to its degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * p.num_vertices * p.edges_per_vertex);
+
+  auto add_edge = [&](VertexId u, VertexId v) {
+    edges.push_back(Edge{u, v, kDefaultWeight});
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  };
+
+  for (std::uint32_t i = 0; i < p.seed_clique; ++i)
+    for (std::uint32_t j = i + 1; j < p.seed_clique; ++j) add_edge(i, j);
+
+  for (VertexId v = p.seed_clique; v < p.num_vertices; ++v) {
+    const std::uint32_t m =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(p.edges_per_vertex, v));
+    for (std::uint32_t k = 0; k < m; ++k) {
+      VertexId target = endpoints[rng.bounded(endpoints.size())];
+      if (target == v) target = endpoints[rng.bounded(endpoints.size())];
+      add_edge(v, target);
+    }
+  }
+  return edges;
+}
+
+}  // namespace remo

@@ -1,0 +1,28 @@
+// Preferential attachment (Barabasi-Albert style) generator.
+//
+// Stand-in for the paper's social-network datasets (Twitter, Friendster):
+// each arriving vertex attaches `edges_per_vertex` edges to endpoints
+// sampled proportionally to degree, producing the heavy-tailed degree
+// distribution that drives the paper's load-balance observations. Unlike
+// shuffled RMAT streams, emitting edges in attachment order also gives a
+// *naturally incremental* stream: a vertex's edges appear when the vertex
+// "joins the network", like real social-graph event feeds.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace remo {
+
+struct PrefAttachParams {
+  std::uint64_t num_vertices = 1 << 16;
+  std::uint32_t edges_per_vertex = 16;
+  /// Size of the fully connected seed clique.
+  std::uint32_t seed_clique = 4;
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_pref_attach(const PrefAttachParams& params);
+
+}  // namespace remo

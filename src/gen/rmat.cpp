@@ -1,0 +1,59 @@
+#include "gen/rmat.hpp"
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace remo {
+
+EdgeList generate_rmat(const RmatParams& p) {
+  Xoshiro256 rng(p.seed);
+  const std::uint64_t n = std::uint64_t{1} << p.scale;
+  const std::uint64_t m = n * p.edge_factor;
+
+  EdgeList edges;
+  edges.reserve(m);
+
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < p.scale; ++bit) {
+      // Jitter the quadrant probabilities per level.
+      const double na = p.a * (1.0 - p.noise + 2.0 * p.noise * rng.uniform());
+      const double nb = p.b * (1.0 - p.noise + 2.0 * p.noise * rng.uniform());
+      const double nc = p.c * (1.0 - p.noise + 2.0 * p.noise * rng.uniform());
+      const double nd = (1.0 - p.a - p.b - p.c) *
+                        (1.0 - p.noise + 2.0 * p.noise * rng.uniform());
+      const double total = na + nb + nc + nd;
+      const double r = rng.uniform() * total;
+      src <<= 1;
+      dst <<= 1;
+      if (r < na) {
+        // top-left quadrant: no bits
+      } else if (r < na + nb) {
+        dst |= 1;
+      } else if (r < na + nb + nc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (p.scramble_ids) {
+      // Bijective within the 2^scale id space: hash then mask keeps
+      // collisions possible, so instead use a Feistel-free approach —
+      // multiply by an odd constant mod 2^scale (a bijection) after a
+      // xor-shift, both invertible.
+      const std::uint64_t mask = n - 1;
+      auto scramble = [&](std::uint64_t x) {
+        x ^= x >> (p.scale / 2 + 1);
+        x = (x * 0x9e3779b97f4a7c15ULL) & mask;  // odd multiplier: bijection mod 2^scale
+        return x;
+      };
+      src = scramble(src);
+      dst = scramble(dst);
+    }
+    edges.push_back(Edge{src, dst, kDefaultWeight});
+  }
+  return edges;
+}
+
+}  // namespace remo

@@ -1,0 +1,33 @@
+// RMAT (Recursive MATrix) generator with Graph500 parameters.
+//
+// Table I: "RMAT graphs (Graph500 parameters) have a 16x undirected (32x
+// directed) edge factor". RMAT(SCALE) has 2^SCALE vertices and
+// 2^SCALE * edgefactor edges before reversal.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace remo {
+
+struct RmatParams {
+  std::uint32_t scale = 16;       ///< 2^scale vertices
+  std::uint32_t edge_factor = 16; ///< edges per vertex (undirected count)
+  double a = 0.57, b = 0.19, c = 0.19;  ///< Graph500; d = 1-a-b-c
+  /// Per-level parameter noise, as in the Graph500 reference generator.
+  /// Breaks up the artificial self-similarity of pure RMAT.
+  double noise = 0.05;
+  /// Scramble vertex ids (splitmix64 permutation) so that vertex id order
+  /// carries no degree information — matters for consistent hashing.
+  bool scramble_ids = true;
+  std::uint64_t seed = 1;
+};
+
+/// Generate the directed half of an RMAT graph: scale^2 vertices,
+/// edge_factor * 2^scale edges (callers add reverse edges for the
+/// undirected datasets, matching the paper's "made undirected with reverse
+/// edges where needed").
+EdgeList generate_rmat(const RmatParams& params);
+
+}  // namespace remo

@@ -1,0 +1,54 @@
+#include "gen/stream.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace remo {
+namespace {
+
+std::vector<EdgeStream> round_robin(std::vector<EdgeEvent>& events,
+                                    std::size_t num_streams) {
+  std::vector<std::vector<EdgeEvent>> parts(num_streams);
+  for (auto& p : parts) p.reserve(events.size() / num_streams + 1);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    parts[i % num_streams].push_back(events[i]);
+  std::vector<EdgeStream> streams;
+  streams.reserve(num_streams);
+  for (auto& p : parts) streams.emplace_back(std::move(p));
+  return streams;
+}
+
+void fisher_yates(std::vector<EdgeEvent>& events, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (std::size_t i = events.size(); i > 1; --i)
+    std::swap(events[i - 1], events[rng.bounded(i)]);
+}
+
+}  // namespace
+
+StreamSet make_streams(const EdgeList& edges, std::size_t num_streams,
+                       const StreamOptions& opts) {
+  REMO_CHECK(num_streams > 0);
+  std::vector<EdgeEvent> events;
+  events.reserve(edges.size());
+  Xoshiro256 wrng(opts.seed ^ 0x5bf0'3635'dcf2'd069ULL);
+  for (const Edge& e : edges) {
+    Weight w = opts.min_weight;
+    if (opts.max_weight > opts.min_weight)
+      w = opts.min_weight +
+          static_cast<Weight>(wrng.bounded(opts.max_weight - opts.min_weight + 1));
+    events.push_back(EdgeEvent{e.src, e.dst, w, EdgeOp::kAdd});
+  }
+  if (opts.shuffle) fisher_yates(events, opts.seed);
+  return StreamSet(round_robin(events, num_streams));
+}
+
+StreamSet split_events(std::vector<EdgeEvent> events, std::size_t num_streams,
+                       bool shuffle, std::uint64_t seed) {
+  REMO_CHECK(num_streams > 0);
+  if (shuffle) fisher_yates(events, seed);
+  return StreamSet(round_robin(events, num_streams));
+}
+
+}  // namespace remo

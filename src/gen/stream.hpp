@@ -1,0 +1,88 @@
+// Edge event streams — the unit of dynamic ingestion.
+//
+// Section III-C: "each process can independently ingest pairs of [source,
+// destination] graph structure changes (edge events)... (i) each individual
+// stream presents its own events in-order, and (ii) events on different
+// streams are treated as concurrent." A StreamSet is one EdgeStream per
+// rank; the engine saturates by having each rank pull its next event the
+// moment local work drains (Section V-A's saturation methodology).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace remo {
+
+enum class EdgeOp : std::uint8_t {
+  kAdd,     ///< incremental topology change (the paper's main regime)
+  kDelete,  ///< decremental event (Section VI-B extension)
+};
+
+struct EdgeEvent {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = kDefaultWeight;
+  EdgeOp op = EdgeOp::kAdd;
+
+  friend bool operator==(const EdgeEvent&, const EdgeEvent&) = default;
+};
+
+/// One FIFO-ordered event stream. Immutable once built; consumers keep
+/// their own cursors.
+class EdgeStream {
+ public:
+  EdgeStream() = default;
+  explicit EdgeStream(std::vector<EdgeEvent> events) : events_(std::move(events)) {}
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  const EdgeEvent& operator[](std::size_t i) const noexcept { return events_[i]; }
+  const std::vector<EdgeEvent>& events() const noexcept { return events_; }
+
+ private:
+  std::vector<EdgeEvent> events_;
+};
+
+/// A set of concurrent streams, one per ingesting rank.
+class StreamSet {
+ public:
+  StreamSet() = default;
+  explicit StreamSet(std::vector<EdgeStream> streams) : streams_(std::move(streams)) {}
+
+  std::size_t num_streams() const noexcept { return streams_.size(); }
+  const EdgeStream& stream(std::size_t i) const noexcept { return streams_[i]; }
+
+  std::size_t total_events() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : streams_) n += s.size();
+    return n;
+  }
+
+ private:
+  std::vector<EdgeStream> streams_;
+};
+
+struct StreamOptions {
+  /// Shuffle events before splitting ("edges are pre-randomized", §V-A).
+  bool shuffle = true;
+  /// Assign uniform random weights in [min_weight, max_weight]; when
+  /// min==max every edge gets that weight (BFS datasets use 1).
+  Weight min_weight = 1;
+  Weight max_weight = 1;
+  std::uint64_t seed = 7;
+};
+
+/// Convert an edge list to add-only events, optionally shuffled and
+/// weighted, split round-robin into `num_streams` FIFO streams.
+StreamSet make_streams(const EdgeList& edges, std::size_t num_streams,
+                       const StreamOptions& opts = {});
+
+/// As make_streams but from explicit events (mixed add/delete workloads).
+StreamSet split_events(std::vector<EdgeEvent> events, std::size_t num_streams,
+                       bool shuffle = false, std::uint64_t seed = 7);
+
+}  // namespace remo

@@ -1,0 +1,42 @@
+#include "graph/csr.hpp"
+
+namespace remo {
+
+CsrGraph CsrGraph::build(const EdgeList& edges) {
+  CsrGraph g;
+
+  // Pass 1: assign dense ids in first-appearance order (src before dst so
+  // isolated reverse-only vertices still get ids).
+  g.dense_map_.reserve(edges.size() / 4 + 8);
+  auto intern = [&](VertexId v) -> Dense {
+    if (const Dense* d = g.dense_map_.find(v)) return *d;
+    const Dense fresh = g.external_ids_.size();
+    g.external_ids_.push_back(v);
+    g.dense_map_.insert_or_assign(v, fresh);
+    return fresh;
+  };
+  for (const Edge& e : edges) {
+    intern(e.src);
+    intern(e.dst);
+  }
+
+  const std::size_t n = g.external_ids_.size();
+  g.offsets_.assign(n + 1, 0);
+
+  // Pass 2: counting sort by source.
+  for (const Edge& e : edges) ++g.offsets_[*g.dense_map_.find(e.src) + 1];
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.targets_.resize(edges.size());
+  g.edge_weights_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    const Dense s = *g.dense_map_.find(e.src);
+    const std::uint64_t slot = cursor[s]++;
+    g.targets_[slot] = *g.dense_map_.find(e.dst);
+    g.edge_weights_[slot] = e.weight;
+  }
+  return g;
+}
+
+}  // namespace remo

@@ -1,0 +1,45 @@
+// Plain edge-list representation used at the boundary between the
+// generators, the static (CSR) substrate, and the dynamic engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace remo {
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = kDefaultWeight;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// Append the reverse of every edge (u,v,w) -> (v,u,w). The static CSR
+/// substrate represents undirected graphs this way, matching how the
+/// dynamic engine materialises Reverse-Add events.
+inline EdgeList with_reverse_edges(const EdgeList& edges) {
+  EdgeList out;
+  out.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    out.push_back(e);
+    out.push_back(Edge{e.dst, e.src, e.weight});
+  }
+  return out;
+}
+
+/// Largest vertex id referenced, or kInvalidVertex for an empty list.
+inline VertexId max_vertex_id(const EdgeList& edges) {
+  VertexId m = kInvalidVertex;
+  for (const Edge& e : edges) {
+    const VertexId hi = e.src > e.dst ? e.src : e.dst;
+    if (m == kInvalidVertex || hi > m) m = hi;
+  }
+  return m;
+}
+
+}  // namespace remo

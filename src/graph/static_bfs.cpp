@@ -1,0 +1,51 @@
+#include "graph/static_bfs.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace remo {
+
+std::vector<StateWord> static_bfs(const CsrGraph& g, CsrGraph::Dense source) {
+  REMO_CHECK(source < g.num_vertices());
+  std::vector<StateWord> level(g.num_vertices(), kInfiniteState);
+  std::vector<CsrGraph::Dense> frontier{source};
+  std::vector<CsrGraph::Dense> next;
+  level[source] = 1;
+  StateWord depth = 1;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const CsrGraph::Dense u : frontier) {
+      for (const CsrGraph::Dense v : g.neighbours(u)) {
+        if (level[v] == kInfiniteState) {
+          level[v] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+BfsTree static_bfs_tree(const CsrGraph& g, CsrGraph::Dense source) {
+  BfsTree t;
+  t.level = static_bfs(g, source);
+  t.parent.assign(g.num_vertices(), CsrGraph::kNoVertex);
+  t.parent[source] = source;
+  // Second sweep: for every reached vertex pick the lowest-external-id
+  // neighbour one level closer to the source.
+  for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
+    if (v == source || t.level[v] == kInfiniteState) continue;
+    for (const CsrGraph::Dense u : g.neighbours(v)) {
+      if (t.level[u] + 1 != t.level[v]) continue;
+      if (t.parent[v] == CsrGraph::kNoVertex ||
+          g.external_of(u) < g.external_of(t.parent[v]))
+        t.parent[v] = u;
+    }
+  }
+  return t;
+}
+
+}  // namespace remo

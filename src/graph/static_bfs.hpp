@@ -1,0 +1,30 @@
+// Static top-down BFS (Algorithm 1 of the paper, iterative form).
+//
+// Used (a) as the baseline in the Fig. 3 / Fig. 4 experiments — "run the
+// algorithm statically with no further edge ingestion" — and (b) as the
+// oracle the dynamic BFS must converge to (DESIGN.md invariant 1).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace remo {
+
+/// Levels for every dense vertex. The source has level 1 (the paper's
+/// convention: `start_vertex.level = 1`); unreachable vertices hold
+/// kInfiniteState.
+std::vector<StateWord> static_bfs(const CsrGraph& g, CsrGraph::Dense source);
+
+/// BFS parent array alongside levels, with the deterministic tie-break of
+/// Section II-D: among equal-level candidates the parent with the lowest
+/// external vertex id wins. parent[source] = source; unreachable vertices
+/// hold kNoVertex.
+struct BfsTree {
+  std::vector<StateWord> level;
+  std::vector<CsrGraph::Dense> parent;
+};
+BfsTree static_bfs_tree(const CsrGraph& g, CsrGraph::Dense source);
+
+}  // namespace remo

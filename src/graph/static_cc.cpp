@@ -1,0 +1,89 @@
+#include "graph/static_cc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace remo {
+namespace {
+
+// Classic union-find with path halving + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+std::vector<StateWord> static_cc_labels(const CsrGraph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<StateWord> label(n);
+  for (CsrGraph::Dense v = 0; v < n; ++v) label[v] = cc_initial_label(g.external_of(v));
+
+  // Label propagation to fixpoint; undirected view means we propagate both
+  // ways along every stored arc each sweep.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CsrGraph::Dense u = 0; u < n; ++u) {
+      for (const CsrGraph::Dense v : g.neighbours(u)) {
+        if (label[u] > label[v]) {
+          label[v] = label[u];
+          changed = true;
+        } else if (label[v] > label[u]) {
+          label[u] = label[v];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<StateWord> static_cc_union_find(const CsrGraph& g) {
+  const std::size_t n = g.num_vertices();
+  UnionFind uf(n);
+  for (CsrGraph::Dense u = 0; u < n; ++u)
+    for (const CsrGraph::Dense v : g.neighbours(u)) uf.unite(u, v);
+
+  std::vector<StateWord> root_label(n, 0);
+  for (CsrGraph::Dense v = 0; v < n; ++v) {
+    const std::size_t r = uf.find(v);
+    root_label[r] = std::max(root_label[r], cc_initial_label(g.external_of(v)));
+  }
+  std::vector<StateWord> label(n);
+  for (CsrGraph::Dense v = 0; v < n; ++v) label[v] = root_label[uf.find(v)];
+  return label;
+}
+
+std::size_t static_cc_count(const CsrGraph& g) {
+  const auto labels = static_cc_union_find(g);
+  std::unordered_set<StateWord> distinct(labels.begin(), labels.end());
+  return distinct.size();
+}
+
+}  // namespace remo

@@ -1,0 +1,34 @@
+// Static connected components: union-find (oracle) and label propagation
+// (second baseline with the same label convention as the dynamic CC).
+#pragma once
+
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace remo {
+
+/// Label a vertex gets when it first appears (Algorithm 6:
+/// `this.value = hash(this.ID)`). Never zero — zero means "unlabelled".
+inline StateWord cc_initial_label(VertexId v) noexcept {
+  const StateWord h = splitmix64(v);
+  return h == 0 ? 1 : h;
+}
+
+/// Per-dense-vertex component label: the maximum cc_initial_label() within
+/// the component (Algorithm 6's update keeps the dominating — larger —
+/// label). Edges are treated as undirected.
+std::vector<StateWord> static_cc_labels(const CsrGraph& g);
+
+/// Union-find over the raw edge list; returns labels in the same
+/// max-initial-label convention keyed by external vertex id order of the
+/// provided CSR. Cross-checks static_cc_labels.
+std::vector<StateWord> static_cc_union_find(const CsrGraph& g);
+
+/// Number of connected components in g (undirected view).
+std::size_t static_cc_count(const CsrGraph& g);
+
+}  // namespace remo

@@ -1,0 +1,87 @@
+#include "graph/static_sssp.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace remo {
+
+std::vector<StateWord> static_sssp_dijkstra(const CsrGraph& g, CsrGraph::Dense source) {
+  REMO_CHECK(source < g.num_vertices());
+  std::vector<StateWord> dist(g.num_vertices(), kInfiniteState);
+  using Entry = std::pair<StateWord, CsrGraph::Dense>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 1;
+  heap.emplace(1, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale entry
+    const auto nbrs = g.neighbours(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const StateWord nd = d + ws[i];
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        heap.emplace(nd, nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<StateWord> static_sssp_delta(const CsrGraph& g, CsrGraph::Dense source,
+                                         Weight delta) {
+  REMO_CHECK(source < g.num_vertices());
+  if (delta == 0) {
+    // Heuristic: mean weight, at least 1.
+    std::uint64_t total = 0, count = 0;
+    for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v)
+      for (const Weight w : g.weights(v)) {
+        total += w;
+        ++count;
+      }
+    delta = count == 0 ? 1 : static_cast<Weight>(std::max<std::uint64_t>(1, total / count));
+  }
+
+  std::vector<StateWord> dist(g.num_vertices(), kInfiniteState);
+  std::vector<std::vector<CsrGraph::Dense>> buckets;
+
+  auto bucket_of = [&](StateWord d) { return static_cast<std::size_t>(d / delta); };
+  auto push = [&](CsrGraph::Dense v, StateWord d) {
+    const std::size_t b = bucket_of(d);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+
+  dist[source] = 1;
+  push(source, 1);
+
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    // Settle the bucket: light-edge relaxations may reinsert into bucket b.
+    std::vector<CsrGraph::Dense> pending;
+    while (!buckets[b].empty()) {
+      pending.swap(buckets[b]);
+      for (const CsrGraph::Dense u : pending) {
+        if (bucket_of(dist[u]) != b) continue;  // moved to an earlier bucket
+        const StateWord d = dist[u];
+        const auto nbrs = g.neighbours(u);
+        const auto ws = g.weights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const StateWord nd = d + ws[i];
+          if (nd < dist[nbrs[i]]) {
+            dist[nbrs[i]] = nd;
+            push(nbrs[i], nd);
+          }
+        }
+      }
+      pending.clear();
+    }
+  }
+  return dist;
+}
+
+}  // namespace remo

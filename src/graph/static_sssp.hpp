@@ -1,0 +1,22 @@
+// Static single-source shortest paths: Dijkstra (binary heap) and
+// delta-stepping. Dijkstra is the oracle for the dynamic SSSP; the
+// delta-stepping variant cross-checks it and serves as a second static
+// baseline with a different traversal pattern.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace remo {
+
+/// Distances with the paper's convention: dist(source) = 1, dist(v) =
+/// 1 + (minimum path weight sum). Unreachable: kInfiniteState.
+std::vector<StateWord> static_sssp_dijkstra(const CsrGraph& g, CsrGraph::Dense source);
+
+/// Delta-stepping with bucket width `delta` (0 picks a heuristic width).
+std::vector<StateWord> static_sssp_delta(const CsrGraph& g, CsrGraph::Dense source,
+                                         Weight delta = 0);
+
+}  // namespace remo

@@ -1,0 +1,57 @@
+#include "graph/static_st.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace remo {
+
+std::vector<StateWord> static_multi_st(const CsrGraph& g,
+                                       const std::vector<CsrGraph::Dense>& sources) {
+  REMO_CHECK(sources.size() <= 64);
+  std::vector<StateWord> mask(g.num_vertices(), 0);
+  std::vector<CsrGraph::Dense> stack;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const StateWord bit = StateWord{1} << i;
+    REMO_CHECK(sources[i] < g.num_vertices());
+    if (mask[sources[i]] & bit) continue;
+    mask[sources[i]] |= bit;
+    stack.assign(1, sources[i]);
+    while (!stack.empty()) {
+      const CsrGraph::Dense u = stack.back();
+      stack.pop_back();
+      for (const CsrGraph::Dense v : g.neighbours(u)) {
+        if (!(mask[v] & bit)) {
+          mask[v] |= bit;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<DynamicBitset> static_multi_st_wide(
+    const CsrGraph& g, const std::vector<CsrGraph::Dense>& sources) {
+  std::vector<DynamicBitset> mask(g.num_vertices(), DynamicBitset(sources.size()));
+  std::vector<CsrGraph::Dense> stack;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    REMO_CHECK(sources[i] < g.num_vertices());
+    if (mask[sources[i]].test(i)) continue;
+    mask[sources[i]].set(i);
+    stack.assign(1, sources[i]);
+    while (!stack.empty()) {
+      const CsrGraph::Dense u = stack.back();
+      stack.pop_back();
+      for (const CsrGraph::Dense v : g.neighbours(u)) {
+        if (!mask[v].test(i)) {
+          mask[v].set(i);
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace remo

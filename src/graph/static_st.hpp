@@ -1,0 +1,23 @@
+// Static multi S-T connectivity oracle: for a set of sources S, the state
+// of vertex v is a bitmap with bit i set iff v is reachable from S[i]
+// (Algorithm 7's convention: a source's own bit is set by init()).
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace remo {
+
+/// Up to 64 sources, packed into a StateWord per vertex. Edges are
+/// traversed as stored (pass an undirected CSR for undirected semantics).
+std::vector<StateWord> static_multi_st(const CsrGraph& g,
+                                       const std::vector<CsrGraph::Dense>& sources);
+
+/// Arbitrary source count; one DynamicBitset per vertex.
+std::vector<DynamicBitset> static_multi_st_wide(
+    const CsrGraph& g, const std::vector<CsrGraph::Dense>& sources);
+
+}  // namespace remo

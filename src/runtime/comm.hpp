@@ -1,0 +1,110 @@
+// Comm: the shared-nothing communicator.
+//
+// One mailbox per rank, per-destination send buffers (visitors batch up and
+// flush in groups, like MPI message aggregation), and the in-flight
+// accounting that backs both the counting termination detector and the
+// epoch-drain logic of versioned snapshots (Section III-D).
+//
+// Accounting invariant: every *basic* (non-control) visitor increments
+// in_flight for its epoch parity before it becomes visible to any consumer
+// and decrements only after its callback has fully executed (including the
+// sends the callback generated, which were incremented first). Therefore
+// in_flight == 0 implies no basic work exists anywhere in the system.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/message.hpp"
+
+namespace remo {
+
+class Comm {
+ public:
+  explicit Comm(RankId num_ranks, std::size_t batch_size = 128)
+      : batch_size_(batch_size) {
+    REMO_CHECK(num_ranks > 0);
+    ranks_.reserve(num_ranks);
+    for (RankId r = 0; r < num_ranks; ++r)
+      ranks_.push_back(std::make_unique<PerRank>(num_ranks));
+    in_flight_[0] = 0;
+    in_flight_[1] = 0;
+  }
+
+  RankId size() const noexcept { return static_cast<RankId>(ranks_.size()); }
+
+  Mailbox& mailbox(RankId r) noexcept { return ranks_[r]->box; }
+
+  /// Send a visitor from rank `from` to rank `to`. Must be called from the
+  /// owning thread of `from`. Basic visitors are counted; control visitors
+  /// bypass accounting (they must not hold off quiescence).
+  void send(RankId from, RankId to, const Visitor& v) {
+    if (v.kind != VisitKind::kControl) note_injected(v.epoch);
+    auto& buf = ranks_[from]->out[to];
+    buf.push_back(v);
+    if (buf.size() >= batch_size_) flush_one(from, to);
+  }
+
+  /// Push all of rank `from`'s buffered visitors to their mailboxes.
+  void flush(RankId from) {
+    for (RankId to = 0; to < size(); ++to) flush_one(from, to);
+  }
+
+  bool has_buffered(RankId from) const noexcept {
+    for (const auto& buf : ranks_[from]->out)
+      if (!buf.empty()) return true;
+    return false;
+  }
+
+  /// Account for a basic visitor injected from outside a callback (stream
+  /// pull, main-thread init). Pair with note_processed.
+  void note_injected(std::uint16_t epoch) noexcept {
+    in_flight_[epoch & 1].fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void note_processed(std::uint16_t epoch) noexcept {
+    [[maybe_unused]] const auto prev =
+        in_flight_[epoch & 1].fetch_sub(1, std::memory_order_acq_rel);
+    REMO_ASSERT(prev > 0);
+  }
+
+  std::int64_t in_flight(std::uint16_t epoch_parity) const noexcept {
+    return in_flight_[epoch_parity & 1].load(std::memory_order_acquire);
+  }
+
+  std::int64_t in_flight_total() const noexcept {
+    return in_flight(0) + in_flight(1);
+  }
+
+  /// Wake every parked rank (phase transitions, shutdown).
+  void interrupt_all() {
+    for (auto& r : ranks_) r->box.interrupt();
+  }
+
+ private:
+  struct PerRank {
+    explicit PerRank(RankId n) : out(n) {}
+    Mailbox box;
+    std::vector<std::vector<Visitor>> out;  // per-destination send buffers
+  };
+
+  void flush_one(RankId from, RankId to) {
+    auto& buf = ranks_[from]->out[to];
+    if (buf.empty()) return;
+    ranks_[to]->box.push(std::span<const Visitor>(buf.data(), buf.size()));
+    buf.clear();
+  }
+
+  std::size_t batch_size_;
+  std::vector<std::unique_ptr<PerRank>> ranks_;
+  // Indexed by epoch parity: at most two epochs are ever active (the engine
+  // serialises versioned collections), so parity disambiguates.
+  std::atomic<std::int64_t> in_flight_[2];
+};
+
+}  // namespace remo

@@ -1,0 +1,69 @@
+// Mailbox: the FIFO ingress queue of a rank.
+//
+// Multi-producer (every other rank), single-consumer (the owning rank).
+// Producers append batches under a mutex; the consumer swaps the whole
+// pending vector out, so steady-state cost is one lock per *batch*, not per
+// message. Per-producer FIFO order is preserved (a producer's batches are
+// appended in send order), which is the ordering guarantee the paper's
+// undirected-edge serialisation argument relies on (Section III-C).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "runtime/message.hpp"
+
+namespace remo {
+
+class Mailbox {
+ public:
+  /// Append a batch of visitors (producer side).
+  void push(std::span<const Visitor> batch) {
+    if (batch.empty()) return;
+    {
+      std::lock_guard lock(mutex_);
+      pending_.insert(pending_.end(), batch.begin(), batch.end());
+    }
+    cv_.notify_one();
+  }
+
+  void push_one(const Visitor& v) { push(std::span<const Visitor>{&v, 1}); }
+
+  /// Swap out all pending visitors (consumer side). Returns false when the
+  /// mailbox was empty. `out` is cleared first.
+  bool drain(std::vector<Visitor>& out) {
+    out.clear();
+    std::lock_guard lock(mutex_);
+    if (pending_.empty()) return false;
+    out.swap(pending_);
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return pending_.empty();
+  }
+
+  /// Park the consumer until a push arrives or `timeout` elapses. Returns
+  /// true when the mailbox is (possibly) non-empty.
+  template <typename Duration>
+  bool wait(Duration timeout) {
+    std::unique_lock lock(mutex_);
+    if (!pending_.empty()) return true;
+    cv_.wait_for(lock, timeout);
+    return !pending_.empty();
+  }
+
+  /// Wake a parked consumer without delivering a message (used by the
+  /// engine for phase changes).
+  void interrupt() { cv_.notify_all(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Visitor> pending_;
+};
+
+}  // namespace remo

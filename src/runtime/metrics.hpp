@@ -1,0 +1,40 @@
+// Per-rank counters, cache-line padded, aggregated by the harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace remo {
+
+struct alignas(64) RankMetrics {
+  std::uint64_t topology_events = 0;   ///< stream events ingested by this rank
+  std::uint64_t algorithm_events = 0;  ///< visitor callbacks executed
+  std::uint64_t messages_sent = 0;     ///< visitors sent (local + remote)
+  std::uint64_t remote_messages = 0;   ///< visitors that crossed ranks
+  std::uint64_t edges_stored = 0;      ///< directed edges resident
+  std::uint64_t control_messages = 0;  ///< termination tokens, markers
+};
+
+struct MetricsSummary {
+  std::uint64_t topology_events = 0;
+  std::uint64_t algorithm_events = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t edges_stored = 0;
+  std::uint64_t control_messages = 0;
+
+  static MetricsSummary aggregate(const std::vector<RankMetrics>& per_rank) {
+    MetricsSummary s;
+    for (const auto& m : per_rank) {
+      s.topology_events += m.topology_events;
+      s.algorithm_events += m.algorithm_events;
+      s.messages_sent += m.messages_sent;
+      s.remote_messages += m.remote_messages;
+      s.edges_stored += m.edges_stored;
+      s.control_messages += m.control_messages;
+    }
+    return s;
+  }
+};
+
+}  // namespace remo

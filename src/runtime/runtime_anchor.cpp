@@ -1,0 +1,7 @@
+// Anchor translation unit: proves every runtime header is self-contained.
+#include "runtime/comm.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/partitioner.hpp"
+#include "runtime/safra.hpp"

@@ -1,0 +1,136 @@
+// Safra's distributed termination detection (EWD 998 formulation).
+//
+// The paper's middleware determines completion "by a distributed quiescence
+// detection algorithm [24]". remo ships two interchangeable detectors: the
+// counting detector built into Comm's in-flight accounting (exact, but it
+// relies on a shared atomic — cheap on one host, unavailable over a real
+// network) and this token-ring algorithm, which uses only point-to-point
+// control messages and is the detector a multi-node deployment would run.
+//
+// Rules (token travels 0 -> N-1 -> N-2 -> ... -> 0):
+//  * every rank tracks c_i = basic messages sent - received; a rank turns
+//    black when it receives a basic message.
+//  * a passive rank i != 0 holding the token forwards (q + c_i, colour')
+//    where colour' is black if the rank is black; the rank then whitens.
+//  * rank 0 concludes termination when it is passive and white, holds a
+//    white token, and q + c_0 == 0; otherwise it whitens and starts a new
+//    white probe with q = 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace remo {
+
+class SafraRing {
+ public:
+  struct Token {
+    std::int64_t count = 0;
+    bool black = false;
+  };
+
+  enum class TokenAction {
+    kForward,     ///< pass the (mutated) token to the next rank in the ring
+    kTerminated,  ///< rank 0 concluded global termination
+    kRestart,     ///< rank 0 must launch a fresh probe (token mutated to white/0)
+  };
+
+  explicit SafraRing(RankId num_ranks) : states_(num_ranks) {
+    for (auto& s : states_) s = std::make_unique<RankState>();
+  }
+
+  RankId size() const noexcept { return static_cast<RankId>(states_.size()); }
+
+  /// Ring successor: the token travels towards lower ids.
+  RankId next(RankId r) const noexcept { return r == 0 ? size() - 1 : r - 1; }
+
+  void on_basic_send(RankId r) noexcept {
+    states_[r]->count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void on_basic_receive(RankId r) noexcept {
+    states_[r]->count.fetch_sub(1, std::memory_order_relaxed);
+    states_[r]->black.store(true, std::memory_order_relaxed);
+  }
+
+  /// Rank 0, passive and not currently waiting on a probe, kicks off a
+  /// white token. Returns false when a probe is already circulating.
+  bool start_probe(RankId r) noexcept {
+    if (r != 0) return false;
+    bool expected = false;
+    if (!probe_active_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel))
+      return false;
+    states_[0]->black.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// A passive rank processes the token it holds. The token is mutated in
+  /// place; on kForward the caller sends it to next(r).
+  TokenAction on_token(RankId r, Token& token) noexcept {
+    RankState& s = *states_[r];
+    if (r != 0) {
+      token.count += s.count.load(std::memory_order_relaxed);
+      if (s.black.load(std::memory_order_relaxed)) token.black = true;
+      s.black.store(false, std::memory_order_relaxed);
+      return TokenAction::kForward;
+    }
+    // Rank 0: conclude or restart.
+    const bool white_rank = !s.black.load(std::memory_order_relaxed);
+    const std::int64_t total = token.count + s.count.load(std::memory_order_relaxed);
+    if (!token.black && white_rank && total == 0) {
+      terminated_.store(true, std::memory_order_release);
+      probe_active_.store(false, std::memory_order_release);
+      return TokenAction::kTerminated;
+    }
+    s.black.store(false, std::memory_order_relaxed);
+    token = Token{};  // fresh white probe
+    return TokenAction::kRestart;
+  }
+
+  bool terminated() const noexcept {
+    return terminated_.load(std::memory_order_acquire);
+  }
+
+  /// Invalidate any stale token and arm a fresh detection round. Counts
+  /// are preserved (messages may legitimately be in flight when a new
+  /// phase starts); colours and the terminated flag are cleared, and the
+  /// probe generation advances so tokens from previous rounds are ignored
+  /// on receipt.
+  void rearm() noexcept {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    terminated_.store(false, std::memory_order_release);
+    probe_active_.store(false, std::memory_order_release);
+  }
+
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Full reset: only safe when no basic messages are in flight.
+  void reset() noexcept {
+    rearm();
+    for (auto& s : states_) {
+      s->count.store(0, std::memory_order_relaxed);
+      s->black.store(false, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) RankState {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<bool> black{false};
+  };
+
+  std::vector<std::unique_ptr<RankState>> states_;
+  std::atomic<bool> probe_active_{false};
+  std::atomic<bool> terminated_{false};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace remo

@@ -1,0 +1,124 @@
+// DegAwareStore: the per-rank dynamic graph topology store.
+//
+// One Robin Hood table maps vertex IDs to vertex records; each record owns
+// a degree-aware adjacency (TwoTierAdjacency). A rank stores exactly the
+// out-edges of the vertices it owns (Section III-C: "the directed edge will
+// be co-located with the source vertex"); for undirected graphs the engine
+// materialises the reverse edge at the other owner via a Reverse-Add event.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "storage/adjacency.hpp"
+#include "storage/robin_hood_map.hpp"
+
+namespace remo {
+
+struct StoreConfig {
+  /// Degree at which a vertex's adjacency is promoted from the compact
+  /// inline tier to a Robin Hood edge table.
+  std::uint32_t promote_threshold = TwoTierAdjacency::kDefaultPromoteThreshold;
+};
+
+class DegAwareStore {
+ public:
+  struct InsertResult {
+    bool new_vertex;  ///< the source vertex record was created by this call
+    bool new_edge;    ///< the edge did not previously exist
+  };
+
+  DegAwareStore() = default;
+  explicit DegAwareStore(StoreConfig cfg) : cfg_(cfg) {}
+
+  /// Insert directed edge src -> dst with weight w. Creates the source
+  /// vertex record on first touch.
+  InsertResult insert_edge(VertexId src, VertexId dst, Weight w) {
+    auto [record, fresh] = touch(src);
+    const bool new_edge = record->adj.insert(dst, w, cfg_.promote_threshold);
+    edge_count_ += new_edge ? 1 : 0;
+    return {fresh, new_edge};
+  }
+
+  /// Remove directed edge src -> dst; returns true when it existed.
+  bool erase_edge(VertexId src, VertexId dst) {
+    VertexRecord* rec = vertices_.find(src);
+    if (!rec) return false;
+    const bool removed = rec->adj.erase(dst);
+    edge_count_ -= removed ? 1 : 0;
+    return removed;
+  }
+
+  /// Ensure a vertex record exists (vertex add without edges).
+  bool insert_vertex(VertexId v) { return touch(v).second; }
+
+  bool has_vertex(VertexId v) const noexcept { return vertices_.contains(v); }
+
+  bool has_edge(VertexId src, VertexId dst) const noexcept {
+    const VertexRecord* rec = vertices_.find(src);
+    return rec && rec->adj.contains(dst);
+  }
+
+  std::size_t degree(VertexId v) const noexcept {
+    const VertexRecord* rec = vertices_.find(v);
+    return rec ? rec->adj.degree() : 0;
+  }
+
+  Weight edge_weight(VertexId src, VertexId dst) const noexcept {
+    const VertexRecord* rec = vertices_.find(src);
+    return rec ? rec->adj.weight_of(dst) : kDefaultWeight;
+  }
+
+  /// Mutable adjacency of `v`, or nullptr when the vertex is unknown.
+  TwoTierAdjacency* adjacency(VertexId v) noexcept {
+    VertexRecord* rec = vertices_.find(v);
+    return rec ? &rec->adj : nullptr;
+  }
+
+  const TwoTierAdjacency* adjacency(VertexId v) const noexcept {
+    const VertexRecord* rec = vertices_.find(v);
+    return rec ? &rec->adj : nullptr;
+  }
+
+  std::size_t vertex_count() const noexcept { return vertices_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Visit every owned vertex: `fn(VertexId, TwoTierAdjacency&)`.
+  template <typename Fn>
+  void for_each_vertex(Fn&& fn) {
+    vertices_.for_each([&](const VertexId& v, VertexRecord& rec) { fn(v, rec.adj); });
+  }
+
+  template <typename Fn>
+  void for_each_vertex(Fn&& fn) const {
+    vertices_.for_each(
+        [&](const VertexId& v, const VertexRecord& rec) { fn(v, rec.adj); });
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = vertices_.memory_bytes();
+    vertices_.for_each([&](const VertexId&, const VertexRecord& rec) {
+      bytes += rec.adj.memory_bytes();
+    });
+    return bytes;
+  }
+
+  const StoreConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct VertexRecord {
+    TwoTierAdjacency adj;
+  };
+
+  std::pair<VertexRecord*, bool> touch(VertexId v) {
+    if (VertexRecord* rec = vertices_.find(v)) return {rec, false};
+    VertexRecord& rec = vertices_.get_or_insert(v);
+    return {&rec, true};
+  }
+
+  StoreConfig cfg_{};
+  RobinHoodMap<VertexId, VertexRecord> vertices_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace remo

@@ -1,0 +1,200 @@
+// Open-addressing hash map with Robin Hood hashing and backward-shift
+// deletion — the building block of the DegAwareRHH-style dynamic graph
+// store (Section III-B, [18] Iwabuchi et al., GABB'16).
+//
+// Design notes:
+//  * power-of-two capacity, structure-of-arrays layout: one byte of probe
+//    metadata per slot (0 = empty, k = probe distance k-1), keys and values
+//    in separate arrays. Lookups touch the metadata array almost
+//    exclusively, which is what gives the structure its locality advantage
+//    over node-based maps for high-degree adjacency sets.
+//  * Robin Hood insertion: a probing element displaces a resident whose
+//    probe distance is shorter, keeping the variance of probe lengths small.
+//  * backward-shift deletion: no tombstones, so long-lived dynamic graphs
+//    do not degrade as edges churn.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace remo {
+
+template <typename Key, typename Value, typename Hash = SplitMixHash>
+class RobinHoodMap {
+ public:
+  static constexpr std::size_t kMinCapacity = 8;
+  static constexpr double kMaxLoad = 0.875;
+
+  RobinHoodMap() = default;
+
+  explicit RobinHoodMap(std::size_t expected) { reserve(expected); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return meta_.size(); }
+
+  void clear() {
+    meta_.assign(meta_.size(), 0);
+    size_ = 0;
+  }
+
+  void reserve(std::size_t expected) {
+    std::size_t want = kMinCapacity;
+    while (static_cast<double>(expected) > kMaxLoad * static_cast<double>(want)) want <<= 1;
+    if (want > meta_.size()) rehash(want);
+  }
+
+  /// Insert or overwrite. Returns true when the key was newly inserted.
+  bool insert_or_assign(const Key& key, Value value) {
+    if (Value* v = find(key)) {
+      *v = std::move(value);
+      return false;
+    }
+    insert_new(key, std::move(value));
+    return true;
+  }
+
+  /// operator[]-style access: default-constructs a missing entry.
+  Value& get_or_insert(const Key& key) {
+    if (Value* v = find(key)) return *v;
+    insert_new(key, Value{});
+    Value* v = find(key);
+    REMO_ASSERT(v != nullptr);
+    return *v;
+  }
+
+  Value* find(const Key& key) noexcept {
+    return const_cast<Value*>(static_cast<const RobinHoodMap*>(this)->find(key));
+  }
+
+  const Value* find(const Key& key) const noexcept {
+    if (meta_.empty()) return nullptr;
+    const std::size_t mask = meta_.size() - 1;
+    std::size_t idx = Hash{}(static_cast<std::uint64_t>(key)) & mask;
+    std::uint8_t dist = 1;
+    while (true) {
+      const std::uint8_t m = meta_[idx];
+      if (m == 0 || m < dist) return nullptr;  // Robin Hood early exit
+      if (m == dist && keys_[idx] == key) return &values_[idx];
+      idx = (idx + 1) & mask;
+      ++dist;
+      // Probe distances are capped by rehashing before they overflow.
+      REMO_ASSERT(dist != 0);
+    }
+  }
+
+  bool contains(const Key& key) const noexcept { return find(key) != nullptr; }
+
+  /// Erase by key. Returns true when an entry was removed.
+  bool erase(const Key& key) {
+    if (meta_.empty()) return false;
+    const std::size_t mask = meta_.size() - 1;
+    std::size_t idx = Hash{}(static_cast<std::uint64_t>(key)) & mask;
+    std::uint8_t dist = 1;
+    while (true) {
+      const std::uint8_t m = meta_[idx];
+      if (m == 0 || m < dist) return false;
+      if (m == dist && keys_[idx] == key) break;
+      idx = (idx + 1) & mask;
+      ++dist;
+    }
+    // Backward-shift: slide the following cluster segment one slot left
+    // until an empty slot or a distance-1 (home) element is reached.
+    std::size_t hole = idx;
+    std::size_t next = (hole + 1) & mask;
+    while (meta_[next] > 1) {
+      keys_[hole] = std::move(keys_[next]);
+      values_[hole] = std::move(values_[next]);
+      meta_[hole] = static_cast<std::uint8_t>(meta_[next] - 1);
+      hole = next;
+      next = (next + 1) & mask;
+    }
+    meta_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  /// Visit every (key, value) pair. `fn(const Key&, Value&)`.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < meta_.size(); ++i)
+      if (meta_[i] != 0) fn(keys_[i], values_[i]);
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < meta_.size(); ++i)
+      if (meta_[i] != 0) fn(keys_[i], values_[i]);
+  }
+
+  /// Mean probe distance (1 = direct hit); diagnostic for the micro bench.
+  double mean_probe_distance() const noexcept {
+    if (size_ == 0) return 0.0;
+    std::uint64_t total = 0;
+    for (auto m : meta_)
+      if (m != 0) total += m;
+    return static_cast<double>(total) / static_cast<double>(size_);
+  }
+
+  /// Approximate resident bytes (for Table I style accounting).
+  std::size_t memory_bytes() const noexcept {
+    return meta_.size() * (sizeof(std::uint8_t) + sizeof(Key) + sizeof(Value));
+  }
+
+ private:
+  void insert_new(Key k, Value v) {
+    if (meta_.empty() ||
+        static_cast<double>(size_ + 1) > kMaxLoad * static_cast<double>(meta_.size()))
+      rehash(meta_.empty() ? kMinCapacity : meta_.size() * 2);
+
+    const std::size_t mask = meta_.size() - 1;
+    std::size_t idx = Hash{}(static_cast<std::uint64_t>(k)) & mask;
+    std::uint8_t dist = 1;
+    while (true) {
+      if (meta_[idx] == 0) {
+        keys_[idx] = std::move(k);
+        values_[idx] = std::move(v);
+        meta_[idx] = dist;
+        ++size_;
+        return;
+      }
+      if (meta_[idx] < dist) {
+        // Rob the rich: displace the shallower resident.
+        std::swap(keys_[idx], k);
+        std::swap(values_[idx], v);
+        std::swap(meta_[idx], dist);
+      }
+      idx = (idx + 1) & mask;
+      ++dist;
+      if (dist == 255) {  // pathological clustering: grow and restart
+        rehash(meta_.size() * 2);
+        insert_new(std::move(k), std::move(v));
+        return;
+      }
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<std::uint8_t> old_meta = std::move(meta_);
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    meta_.assign(new_cap, 0);
+    keys_.resize(new_cap);
+    values_.resize(new_cap);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_meta.size(); ++i)
+      if (old_meta[i] != 0) insert_new(std::move(old_keys[i]), std::move(old_values[i]));
+  }
+
+  std::vector<std::uint8_t> meta_;
+  std::vector<Key> keys_;
+  mutable std::vector<Value> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace remo

@@ -1,0 +1,66 @@
+// StdStore: a node-based std::unordered_map adjacency store with the same
+// interface as DegAwareStore. This is the "baseline implementation" the
+// paper's Section III-B says DegAwareRHH significantly improves over; it
+// exists purely for the storage ablation (bench/abl_storage).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "storage/adjacency.hpp"
+
+namespace remo {
+
+class StdStore {
+ public:
+  struct InsertResult {
+    bool new_vertex;
+    bool new_edge;
+  };
+
+  InsertResult insert_edge(VertexId src, VertexId dst, Weight w) {
+    auto [it, fresh_vertex] = vertices_.try_emplace(src);
+    auto [eit, fresh_edge] = it->second.try_emplace(dst, EdgeProp{.weight = w});
+    if (!fresh_edge) eit->second.weight = w;
+    edge_count_ += fresh_edge ? 1 : 0;
+    return {fresh_vertex, fresh_edge};
+  }
+
+  bool erase_edge(VertexId src, VertexId dst) {
+    auto it = vertices_.find(src);
+    if (it == vertices_.end()) return false;
+    const bool removed = it->second.erase(dst) != 0;
+    edge_count_ -= removed ? 1 : 0;
+    return removed;
+  }
+
+  bool insert_vertex(VertexId v) { return vertices_.try_emplace(v).second; }
+
+  bool has_vertex(VertexId v) const { return vertices_.count(v) != 0; }
+
+  bool has_edge(VertexId src, VertexId dst) const {
+    auto it = vertices_.find(src);
+    return it != vertices_.end() && it->second.count(dst) != 0;
+  }
+
+  std::size_t degree(VertexId v) const {
+    auto it = vertices_.find(v);
+    return it == vertices_.end() ? 0 : it->second.size();
+  }
+
+  std::size_t vertex_count() const noexcept { return vertices_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  template <typename Fn>
+  void for_each_neighbour(VertexId v, Fn&& fn) {
+    auto it = vertices_.find(v);
+    if (it == vertices_.end()) return;
+    for (auto& [nbr, prop] : it->second) fn(nbr, prop);
+  }
+
+ private:
+  std::unordered_map<VertexId, std::unordered_map<VertexId, EdgeProp>> vertices_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace remo

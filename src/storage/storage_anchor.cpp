@@ -1,0 +1,5 @@
+// Anchor translation unit: proves every storage header is self-contained.
+#include "storage/adjacency.hpp"
+#include "storage/degaware_store.hpp"
+#include "storage/robin_hood_map.hpp"
+#include "storage/std_store.hpp"

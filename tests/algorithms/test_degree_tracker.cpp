@@ -1,0 +1,94 @@
+// Degree tracking (the Section II-A example) including delete events and
+// threshold triggers.
+#include <gtest/gtest.h>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(DegreeTracker, MatchesStoreDegreesAfterIngest) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 100, .num_edges = 400, .seed = 4});
+  Engine engine(EngineConfig{.num_ranks = 3});
+  auto [id, deg] = engine.attach_make<DegreeTracker>();
+  engine.ingest(make_streams(edges, 3));
+
+  const CsrGraph g = undirected_csr(edges);
+  for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
+    const VertexId ext = g.external_of(v);
+    const auto owner = engine.partitioner().owner(ext);
+    EXPECT_EQ(engine.state_of(id, ext), engine.store(owner).degree(ext));
+  }
+}
+
+TEST(DegreeTracker, CountsDistinctNeighboursNotEvents) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, deg] = engine.attach_make<DegreeTracker>();
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});  // duplicate
+  engine.inject_edge({1, 3, 1, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(engine.state_of(id, 1), 2u);
+}
+
+TEST(DegreeTracker, DeleteDecreasesDegree) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, deg] = engine.attach_make<DegreeTracker>();
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});
+  engine.inject_edge({1, 3, 1, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(engine.state_of(id, 1), 2u);
+  engine.inject_edge({1, 2, 1, EdgeOp::kDelete});
+  engine.drain();
+  EXPECT_EQ(engine.state_of(id, 1), 1u);
+  EXPECT_EQ(engine.state_of(id, 2), 0u);
+}
+
+TEST(DegreeTracker, ThresholdTriggerFiresOnce) {
+  // "enabling a user-defined callback if the degree exceeds a certain
+  // threshold" (Section II-A).
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, deg] = engine.attach_make<DegreeTracker>();
+
+  std::atomic<int> fires{0};
+  std::atomic<StateWord> seen{0};
+  engine.when(id, 5, [](StateWord d) { return d >= 3; },
+              [&](VertexId, StateWord d) {
+                fires.fetch_add(1);
+                seen.store(d);
+              });
+
+  for (VertexId nbr = 100; nbr < 110; ++nbr) {
+    engine.inject_edge({5, nbr, 1, EdgeOp::kAdd});
+    engine.drain();
+  }
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(seen.load(), 3u);
+}
+
+TEST(DegreeTracker, WhenAnyFindsHubs) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, deg] = engine.attach_make<DegreeTracker>();
+
+  std::mutex mu;
+  std::vector<VertexId> hubs;
+  engine.when_any(id, [](StateWord d) { return d >= 4; },
+                  [&](VertexId v, StateWord) {
+                    std::lock_guard g(mu);
+                    hubs.push_back(v);
+                  });
+
+  // Star around vertex 9 plus a sparse ring.
+  EdgeList edges;
+  for (VertexId v = 20; v < 28; ++v) edges.push_back({9, v, 1});
+  for (VertexId v = 40; v < 44; ++v) edges.push_back({v, v + 1, 1});
+  engine.ingest(make_streams(edges, 2));
+
+  std::lock_guard g(mu);
+  ASSERT_EQ(hubs.size(), 1u);
+  EXPECT_EQ(hubs[0], 9u);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,132 @@
+// Dynamic BFS vs the static oracle (DESIGN.md invariant 1) across rank
+// counts, stream splits, init timing, and graph families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+EdgeList er_graph(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  return generate_erdos_renyi({.num_vertices = n, .num_edges = m, .seed = seed});
+}
+
+TEST(DynamicBfs, SmallGraphExactLevels) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(0);
+  engine.inject_init(bfs_id, 0);
+  const StreamSet streams = make_streams(small_graph(), 2);
+  engine.ingest(streams);
+
+  EXPECT_EQ(engine.state_of(bfs_id, 0), 1u);
+  EXPECT_EQ(engine.state_of(bfs_id, 1), 2u);
+  EXPECT_EQ(engine.state_of(bfs_id, 2), 3u);
+  EXPECT_EQ(engine.state_of(bfs_id, 3), 4u);
+  EXPECT_EQ(engine.state_of(bfs_id, 4), 4u);
+  EXPECT_EQ(engine.state_of(bfs_id, 5), 4u);
+  // Disconnected pair stays unreached.
+  EXPECT_EQ(engine.state_of(bfs_id, 6), kInfiniteState);
+  EXPECT_EQ(engine.state_of(bfs_id, 7), kInfiniteState);
+}
+
+// Property sweep: ranks x streams x seed. Dynamic BFS maintained during
+// shuffled concurrent ingestion must equal static BFS on the final graph.
+class BfsOracleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(BfsOracleSweep, MatchesStaticOracle) {
+  const auto [ranks, streams, seed] = GetParam();
+  const EdgeList edges = er_graph(256, 1024, seed);
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  Engine engine(EngineConfig{.num_ranks = static_cast<RankId>(ranks)});
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(source);
+  engine.inject_init(bfs_id, source);
+  engine.ingest(make_streams(edges, streams, StreamOptions{.seed = seed}));
+
+  const auto oracle = static_bfs(g, g.dense_of(source));
+  expect_matches_oracle(engine, bfs_id, g, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksStreamsSeeds, BfsOracleSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4), ::testing::Values(1, 2, 4),
+                       ::testing::Values(7u, 99u)));
+
+TEST(DynamicBfs, InitAfterIngestionAlsoConverges) {
+  const EdgeList edges = er_graph(200, 800, 3);
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  Engine engine(EngineConfig{.num_ranks = 3});
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(source);
+  engine.ingest(make_streams(edges, 3));
+  engine.inject_init(bfs_id, source);  // instantiate on the finished graph
+  engine.drain();
+
+  expect_matches_oracle(engine, bfs_id, g, static_bfs(g, g.dense_of(source)));
+}
+
+TEST(DynamicBfs, IncrementalPrefixesStayCorrect) {
+  // Ingest in chunks; after each chunk, the maintained state must match
+  // the oracle on the graph-so-far ("query graph state in-between").
+  const EdgeList edges = er_graph(128, 512, 11);
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(edges[0].src);
+  engine.inject_init(bfs_id, edges[0].src);
+
+  const std::size_t kChunk = 128;
+  for (std::size_t off = 0; off < edges.size(); off += kChunk) {
+    EdgeList chunk(edges.begin() + off,
+                   edges.begin() + std::min(edges.size(), off + kChunk));
+    const StreamSet streams = make_streams(chunk, 2, StreamOptions{.shuffle = false});
+    engine.ingest(streams);
+
+    EdgeList prefix(edges.begin(),
+                    edges.begin() + std::min(edges.size(), off + kChunk));
+    const CsrGraph g = undirected_csr(prefix);
+    expect_matches_oracle(engine, bfs_id, g,
+                          static_bfs(g, g.dense_of(edges[0].src)));
+  }
+}
+
+TEST(DynamicBfs, DirectedModeFollowsArcDirection) {
+  // 0 -> 1 -> 2, and 3 -> 2: vertex 3 must stay unreached from 0.
+  const EdgeList edges = {{0, 1, 1}, {1, 2, 1}, {3, 2, 1}};
+  EngineConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.undirected = false;
+  Engine engine(cfg);
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(0);
+  engine.inject_init(bfs_id, 0);
+  engine.ingest(make_streams(edges, 2));
+  EXPECT_EQ(engine.state_of(bfs_id, 0), 1u);
+  EXPECT_EQ(engine.state_of(bfs_id, 1), 2u);
+  EXPECT_EQ(engine.state_of(bfs_id, 2), 3u);
+  EXPECT_EQ(engine.state_of(bfs_id, 3), kInfiniteState);
+}
+
+TEST(DynamicBfs, ResetProgramAllowsRerunFromNewSource) {
+  const EdgeList edges = er_graph(100, 400, 21);
+  const CsrGraph g = undirected_csr(edges);
+  Engine engine(EngineConfig{.num_ranks = 2});
+  const VertexId s1 = vertex_in_largest_cc(g);
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(s1);
+  engine.inject_init(bfs_id, s1);
+  engine.ingest(make_streams(edges, 2));
+  expect_matches_oracle(engine, bfs_id, g, static_bfs(g, g.dense_of(s1)));
+
+  // Rerun from another vertex on the same dynamic topology.
+  const VertexId s2 = g.external_of((g.dense_of(s1) + 1) % g.num_vertices());
+  engine.reset_program(bfs_id);
+  engine.inject_init(bfs_id, s2);
+  engine.drain();
+  expect_matches_oracle(engine, bfs_id, g, static_bfs(g, g.dense_of(s2)));
+}
+
+}  // namespace
+}  // namespace remo::test

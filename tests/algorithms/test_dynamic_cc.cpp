@@ -1,0 +1,95 @@
+// Dynamic Connected Components vs the union-find oracle.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(DynamicCc, TwoComponentsGetDistinctDominatingLabels) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+  engine.ingest(make_streams(small_graph(), 2));
+
+  // Component {0..5}: everyone shares one label.
+  const StateWord big = engine.state_of(id, 0);
+  for (VertexId v = 1; v <= 5; ++v) EXPECT_EQ(engine.state_of(id, v), big);
+  // Component {6,7}: a different shared label.
+  const StateWord pair = engine.state_of(id, 6);
+  EXPECT_EQ(engine.state_of(id, 7), pair);
+  EXPECT_NE(big, pair);
+  // The label is the component's maximum initial label.
+  StateWord expect_big = 0;
+  for (VertexId v = 0; v <= 5; ++v)
+    expect_big = std::max(expect_big, cc_initial_label(v));
+  EXPECT_EQ(big, expect_big);
+}
+
+class CcOracleSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(CcOracleSweep, MatchesUnionFind) {
+  const auto [ranks, seed] = GetParam();
+  // Sparse ER: leaves many components, which stresses label merging.
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 400, .num_edges = 500, .seed = seed});
+  const CsrGraph g = undirected_csr(edges);
+
+  Engine engine(EngineConfig{.num_ranks = static_cast<RankId>(ranks)});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+  engine.ingest(make_streams(edges, static_cast<std::size_t>(ranks),
+                             StreamOptions{.seed = seed}));
+
+  expect_matches_oracle(engine, id, g, static_cc_union_find(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksSeeds, CcOracleSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(DynamicCc, ComponentMergeCascadesThroughBridge) {
+  // Grow two chains, then bridge them: the dominating label must flood the
+  // dominated chain end to end.
+  Engine engine(EngineConfig{.num_ranks = 3});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+  EdgeList left, right;
+  for (VertexId v = 0; v < 20; ++v) left.push_back({v, v + 1, 1});
+  for (VertexId v = 100; v < 120; ++v) right.push_back({v, v + 1, 1});
+  EdgeList both = left;
+  both.insert(both.end(), right.begin(), right.end());
+  engine.ingest(make_streams(both, 3));
+
+  const StateWord l = engine.state_of(id, 0);
+  const StateWord r = engine.state_of(id, 100);
+  ASSERT_NE(l, r);
+
+  engine.inject_edge({20, 100, 1, EdgeOp::kAdd});  // the bridge
+  engine.drain();
+  const StateWord merged = std::max(l, r);
+  for (VertexId v = 0; v <= 20; ++v) EXPECT_EQ(engine.state_of(id, v), merged);
+  for (VertexId v = 100; v <= 120; ++v) EXPECT_EQ(engine.state_of(id, v), merged);
+}
+
+TEST(DynamicCc, LabelPropagationOracleAgreesWithUnionFind) {
+  // Cross-check the two static oracles against each other (they share the
+  // label convention with the dynamic program).
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 300, .num_edges = 350, .seed = 17});
+  const CsrGraph g = undirected_csr(edges);
+  EXPECT_EQ(static_cc_labels(g), static_cc_union_find(g));
+}
+
+TEST(DynamicCc, SingletonEdgeVertexLabelsItself) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+  engine.inject_edge({42, 43, 1, EdgeOp::kAdd});
+  engine.drain();
+  const StateWord expect = std::max(cc_initial_label(42), cc_initial_label(43));
+  EXPECT_EQ(engine.state_of(id, 42), expect);
+  EXPECT_EQ(engine.state_of(id, 43), expect);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,109 @@
+// Dynamic SSSP vs Dijkstra oracle, weighted streams, decreasing-weight
+// updates, and cross-checks against BFS on unit weights.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+StreamSet weighted_streams(const EdgeList& edges, std::size_t n) {
+  std::vector<EdgeEvent> events;
+  for (const Edge& e : edges) events.push_back({e.src, e.dst, e.weight, EdgeOp::kAdd});
+  return split_events(std::move(events), n, /*shuffle=*/true, /*seed=*/5);
+}
+
+TEST(DynamicSssp, WeightedDiamondTakesCheapPath) {
+  const EdgeList edges = {{0, 1, 5}, {1, 2, 1}, {0, 3, 1}, {3, 2, 1}};
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, sssp] = engine.attach_make<DynamicSssp>(0);
+  engine.inject_init(id, 0);
+  engine.ingest(weighted_streams(edges, 2));
+  EXPECT_EQ(engine.state_of(id, 0), 1u);
+  EXPECT_EQ(engine.state_of(id, 3), 2u);
+  EXPECT_EQ(engine.state_of(id, 2), 3u);
+  EXPECT_EQ(engine.state_of(id, 1), 4u);  // 0-3-2-1 (3) beats 0-1 (5): 1+1+1+1
+}
+
+class SsspOracleSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {};
+
+TEST_P(SsspOracleSweep, MatchesDijkstra) {
+  const auto [ranks, seed, max_w] = GetParam();
+  // Canonical undirected edges: random weights per edge are only sound
+  // when each unordered pair appears exactly once in the stream.
+  const EdgeList edges = dedupe_undirected(
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 900, .seed = seed}));
+  Engine engine(EngineConfig{.num_ranks = static_cast<RankId>(ranks)});
+
+  const StreamOptions opts{.shuffle = true,
+                           .min_weight = 1,
+                           .max_weight = static_cast<Weight>(max_w),
+                           .seed = seed};
+  const StreamSet streams = make_streams(edges, static_cast<std::size_t>(ranks), opts);
+
+  // Rebuild the weighted edge list exactly as streamed so the oracle sees
+  // identical weights.
+  EdgeList weighted;
+  for (std::size_t s = 0; s < streams.num_streams(); ++s)
+    for (const EdgeEvent& e : streams.stream(s).events())
+      weighted.push_back(Edge{e.src, e.dst, e.weight});
+
+  const CsrGraph g = undirected_csr(weighted);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  auto [id, sssp] = engine.attach_make<DynamicSssp>(source);
+  engine.inject_init(id, source);
+  engine.ingest(streams);
+
+  const auto oracle = static_sssp_dijkstra(g, g.dense_of(source));
+  expect_matches_oracle(engine, id, g, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksSeedsWeights, SsspOracleSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(13u, 14u, 15u),
+                                            ::testing::Values(1, 16, 255)));
+
+TEST(DynamicSssp, UnitWeightsAgreeWithBfs) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 150, .num_edges = 600, .seed = 8});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  Engine engine(EngineConfig{.num_ranks = 3});
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(source);
+  auto [sssp_id, sssp] = engine.attach_make<DynamicSssp>(source);
+  engine.inject_init(bfs_id, source);
+  engine.inject_init(sssp_id, source);
+  engine.ingest(make_streams(edges, 3));
+
+  for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
+    const VertexId ext = g.external_of(v);
+    EXPECT_EQ(engine.state_of(bfs_id, ext), engine.state_of(sssp_id, ext))
+        << "vertex " << ext;
+  }
+}
+
+TEST(DynamicSssp, ReducingEdgeWeightImprovesDistances) {
+  // Section II-B: "similar logic applies for edge updates limited only to
+  // reducing edge weight" — re-adding an edge with a smaller weight acts
+  // as a weight decrease.
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, sssp] = engine.attach_make<DynamicSssp>(0);
+  engine.inject_init(id, 0);
+  engine.inject_edge({0, 1, 10, EdgeOp::kAdd});
+  engine.inject_edge({1, 2, 10, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(engine.state_of(id, 2), 21u);
+
+  engine.inject_edge({0, 1, 2, EdgeOp::kAdd});  // weight decrease
+  engine.drain();
+  EXPECT_EQ(engine.state_of(id, 1), 3u);
+  EXPECT_EQ(engine.state_of(id, 2), 13u);
+}
+
+}  // namespace
+}  // namespace remo::test

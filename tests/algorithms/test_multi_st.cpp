@@ -1,0 +1,110 @@
+// Multi S-T Connectivity vs the static reachability-mask oracle.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(MultiSt, SingleSourceReachabilityOnSmallGraph) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, st] = engine.attach_make<MultiStConnectivity>(std::vector<VertexId>{0});
+  inject_st_sources(engine, id, *st);
+  engine.ingest(make_streams(small_graph(), 2));
+
+  for (VertexId v = 0; v <= 5; ++v) EXPECT_EQ(engine.state_of(id, v), 1u) << v;
+  EXPECT_EQ(engine.state_of(id, 6), 0u);
+  EXPECT_EQ(engine.state_of(id, 7), 0u);
+}
+
+TEST(MultiSt, TwoSourcesInDifferentComponents) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, st] =
+      engine.attach_make<MultiStConnectivity>(std::vector<VertexId>{0, 6});
+  inject_st_sources(engine, id, *st);
+  engine.ingest(make_streams(small_graph(), 2));
+
+  for (VertexId v = 0; v <= 5; ++v) EXPECT_EQ(engine.state_of(id, v), 0b01u) << v;
+  EXPECT_EQ(engine.state_of(id, 6), 0b10u);
+  EXPECT_EQ(engine.state_of(id, 7), 0b10u);
+}
+
+class MultiStOracleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(MultiStOracleSweep, MatchesStaticMasks) {
+  const auto [ranks, num_sources, seed] = GetParam();
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 300, .num_edges = 500, .seed = seed});
+  const CsrGraph g = undirected_csr(edges);
+
+  std::vector<VertexId> sources;
+  Xoshiro256 rng(seed * 77 + 1);
+  while (sources.size() < static_cast<std::size_t>(num_sources)) {
+    const VertexId s = g.external_of(rng.bounded(g.num_vertices()));
+    if (std::find(sources.begin(), sources.end(), s) == sources.end())
+      sources.push_back(s);
+  }
+
+  Engine engine(EngineConfig{.num_ranks = static_cast<RankId>(ranks)});
+  auto [id, st] = engine.attach_make<MultiStConnectivity>(sources);
+  inject_st_sources(engine, id, *st);
+  engine.ingest(make_streams(edges, static_cast<std::size_t>(ranks),
+                             StreamOptions{.seed = seed}));
+
+  std::vector<CsrGraph::Dense> dense_sources;
+  for (const VertexId s : sources) dense_sources.push_back(g.dense_of(s));
+  expect_matches_oracle(engine, id, g, static_multi_st(g, dense_sources));
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksSourcesSeeds, MultiStOracleSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 4, 16, 64),
+                                            ::testing::Values(5u, 6u)));
+
+TEST(MultiSt, SourceInjectedMidStreamStillConverges) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 400, .seed = 9});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, st] =
+      engine.attach_make<MultiStConnectivity>(std::vector<VertexId>{source});
+  const StreamSet streams = make_streams(edges, 2);
+  engine.ingest_async(streams);
+  inject_st_sources(engine, id, *st);  // while ingestion runs
+  engine.await_quiescence();
+
+  expect_matches_oracle(engine, id, g,
+                        static_multi_st(g, {g.dense_of(source)}));
+}
+
+TEST(MultiSt, WhenQueryFiresOnConnection) {
+  // "When is vertex A connected to vertex B?" — the Section I headline.
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, st] = engine.attach_make<MultiStConnectivity>(std::vector<VertexId>{0});
+  inject_st_sources(engine, id, *st);
+
+  std::atomic<int> fires{0};
+  engine.when(id, /*vertex=*/3, [](StateWord s) { return (s & 1) != 0; },
+              [&](VertexId, StateWord) { fires.fetch_add(1); });
+
+  engine.inject_edge({0, 1, 1, EdgeOp::kAdd});
+  engine.inject_edge({2, 3, 1, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(fires.load(), 0);  // no path 0..3 yet: no false positive
+
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});  // completes the path
+  engine.drain();
+  EXPECT_EQ(fires.load(), 1);
+
+  engine.inject_edge({0, 3, 1, EdgeOp::kAdd});  // second path: no re-fire
+  engine.drain();
+  EXPECT_EQ(fires.load(), 1);
+}
+
+}  // namespace
+}  // namespace remo::test

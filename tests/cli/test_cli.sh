@@ -1,0 +1,40 @@
+#!/bin/sh
+# CLI round-trip: generate -> stats -> ingest (+snapshot) must all succeed
+# and agree with each other. $1 = path to the remo binary.
+set -eu
+
+REMO="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== generate =="
+"$REMO" generate --kind rmat --scale 10 --out "$WORK/g.bin" --seed 3
+test -s "$WORK/g.bin"
+
+echo "== generate text =="
+"$REMO" generate --kind ba --scale 8 --out "$WORK/g.txt" --seed 3
+head -2 "$WORK/g.txt"
+
+echo "== stats =="
+"$REMO" stats --graph "$WORK/g.bin" | tee "$WORK/stats.out"
+grep -q "edges (directed):    16,384" "$WORK/stats.out"
+
+echo "== ingest CON =="
+"$REMO" ingest --graph "$WORK/g.bin" --ranks 2 --algo none
+
+echo "== ingest BFS + snapshot =="
+"$REMO" ingest --graph "$WORK/g.bin" --ranks 3 --algo bfs --source 0 \
+    --snapshot "$WORK/levels.txt" | tee "$WORK/ingest.out"
+grep -q "snapshot written" "$WORK/ingest.out"
+test -s "$WORK/levels.txt"
+# The source itself must appear at level 1.
+grep -q "^0 1$" "$WORK/levels.txt"
+
+echo "== ingest CC under Safra termination =="
+"$REMO" ingest --graph "$WORK/g.txt" --ranks 2 --algo cc --safra
+
+echo "== usage error paths =="
+if "$REMO" bogus-command 2>/dev/null; then echo "expected failure"; exit 1; fi
+if "$REMO" ingest 2>/dev/null; then echo "expected failure"; exit 1; fi
+
+echo "CLI OK"

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/bitset.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Bitset, SetTestResetRoundTrip) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, FilledConstructionTrimsTail) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+}
+
+TEST(Bitset, ResizeGrowsWithValue) {
+  DynamicBitset b(10, true);
+  b.resize(100, true);
+  EXPECT_EQ(b.count(), 100u);
+  b.resize(150, false);
+  EXPECT_EQ(b.count(), 100u);
+  EXPECT_FALSE(b.test(149));
+}
+
+TEST(Bitset, OrAndEquality) {
+  DynamicBitset a(128), b(128);
+  a.set(3);
+  a.set(100);
+  b.set(100);
+  b.set(127);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  EXPECT_TRUE(u.is_superset_of(a));
+  EXPECT_TRUE(u.is_superset_of(b));
+  EXPECT_FALSE(a.is_superset_of(b));
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(100));
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(u == u);
+}
+
+TEST(Bitset, ClearZeroesEverything) {
+  DynamicBitset b(65, true);
+  b.clear();
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.size(), 65u);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Hash, SplitMixIsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+}
+
+TEST(Hash, SplitMixAvoidsTrivialCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Hash, SplitMixAvalanche) {
+  // Flipping a single input bit should flip roughly half the output bits.
+  int total_flipped = 0;
+  const int samples = 256;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t x = splitmix64(static_cast<std::uint64_t>(i) * 0x1234567);
+    const std::uint64_t a = splitmix64(x);
+    const std::uint64_t b = splitmix64(x ^ (1ULL << (i % 64)));
+    total_flipped += __builtin_popcountll(a ^ b);
+  }
+  const double mean = static_cast<double>(total_flipped) / samples;
+  EXPECT_GT(mean, 24.0);
+  EXPECT_LT(mean, 40.0);
+}
+
+TEST(Hash, CombineDependsOnOrder) {
+  EXPECT_NE(hash_combine(splitmix64(1), 2), hash_combine(splitmix64(2), 1));
+}
+
+TEST(Hash, PartitioningIsBalanced) {
+  // splitmix64 mod P should spread sequential vertex ids evenly.
+  constexpr int kRanks = 8;
+  std::uint64_t counts[kRanks] = {};
+  for (std::uint64_t v = 0; v < 80000; ++v) ++counts[splitmix64(v) % kRanks];
+  for (const std::uint64_t c : counts) {
+    EXPECT_GT(c, 80000 / kRanks * 0.9);
+    EXPECT_LT(c, 80000 / kRanks * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace remo::test

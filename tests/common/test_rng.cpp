@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.bounded(37);
+    EXPECT_LT(v, 37u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Xoshiro256 rng(9);
+  bool hit[10] = {};
+  for (int i = 0; i < 1000; ++i) hit[rng.bounded(10)] = true;
+  for (const bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/small_vector.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.is_inline());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SwapEraseRemovesWithoutOrder) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  v.swap_erase(1);  // last element moves into slot 1
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[1], 5);
+  std::vector<int> contents(v.begin(), v.end());
+  std::sort(contents.begin(), contents.end());
+  EXPECT_EQ(contents, (std::vector<int>{0, 2, 3, 4, 5}));
+}
+
+TEST(SmallVector, CopyAndMoveSemantics) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back("gamma");  // spills to heap
+
+  SmallVector<std::string, 2> copy(v);
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], "gamma");
+
+  SmallVector<std::string, 2> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], "alpha");
+
+  SmallVector<std::string, 2> assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.size(), 3u);
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 3u);
+  EXPECT_EQ(assigned[1], "beta");
+}
+
+TEST(SmallVector, MoveOfInlineVectorCopiesElements) {
+  SmallVector<std::string, 4> v;
+  v.push_back("x");
+  SmallVector<std::string, 4> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], "x");
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): defined by impl
+}
+
+TEST(SmallVector, ClearReturnsToInline) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  v.clear();
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(SmallVector, PopBackDestroysElements) {
+  SmallVector<std::string, 2> v;
+  v.push_back("a");
+  v.push_back("b");
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), "a");
+}
+
+TEST(SmallVector, ReserveKeepsContents) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.reserve(128);
+  EXPECT_GE(v.capacity(), 128u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include "common/strfmt.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d + %d = %d", 2, 2, 4), "2 + 2 = 4");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("%s", "hello"), "hello");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Strfmt, LongStringsDoNotTruncate) {
+  const std::string big(5000, 'x');
+  EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Strfmt, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1000000000ULL), "1,000,000,000");
+}
+
+TEST(Strfmt, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(human_bytes(3ULL * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+}  // namespace
+}  // namespace remo::test

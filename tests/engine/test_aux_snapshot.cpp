@@ -1,0 +1,73 @@
+// Auxiliary-state collection: the BFS/SSSP parent trees (the "entire BFS
+// tree ... each vertex has a data point referring to its level and its
+// parent vertex", Section II-C).
+#include <gtest/gtest.h>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(AuxSnapshot, BfsParentTreeIsValid) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 800, .seed = 52});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  Engine engine(EngineConfig{.num_ranks = 3});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(
+      source, DynamicBfs::Options{.deterministic_parents = true});
+  engine.inject_init(id, source);
+  engine.ingest(make_streams(edges, 3));
+
+  const Snapshot levels = engine.collect_quiescent(id);
+  const Snapshot parents = engine.collect_aux_quiescent(id);
+
+  // Every reached vertex (except the source) has a parent one level up,
+  // adjacent in the graph.
+  for (const auto& [v, level] : levels) {
+    if (v == source) {
+      EXPECT_EQ(parents.at(v), source);
+      continue;
+    }
+    const StateWord parent = parents.at(v);
+    ASSERT_NE(parent, kInfiniteState) << "vertex " << v << " has no parent";
+    EXPECT_EQ(levels.at(static_cast<VertexId>(parent)), level - 1);
+    const CsrGraph::Dense dv = g.dense_of(v);
+    bool adjacent = false;
+    for (const CsrGraph::Dense u : g.neighbours(dv))
+      adjacent |= g.external_of(u) == parent;
+    EXPECT_TRUE(adjacent) << "parent of " << v << " not adjacent";
+  }
+}
+
+TEST(AuxSnapshot, DeterministicParentsMatchStaticTree) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 150, .num_edges = 600, .seed = 53});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(
+      source, DynamicBfs::Options{.deterministic_parents = true});
+  engine.inject_init(id, source);
+  engine.ingest(make_streams(edges, 2));
+
+  const Snapshot parents = engine.collect_aux_quiescent(id);
+  const BfsTree tree = static_bfs_tree(g, g.dense_of(source));
+  for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
+    if (tree.parent[v] == CsrGraph::kNoVertex) continue;
+    EXPECT_EQ(parents.at(g.external_of(v)), g.external_of(tree.parent[v]))
+        << "vertex " << g.external_of(v);
+  }
+}
+
+TEST(AuxSnapshot, ProgramWithoutAuxYieldsEmpty) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+  engine.ingest(make_streams(small_graph(), 2));
+  EXPECT_TRUE(engine.collect_aux_quiescent(id).empty());
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,108 @@
+// Topology maintenance invariants: reverse-edge symmetry, weights,
+// store/oracle agreement, and FIFO-dependent ordering guarantees.
+#include <gtest/gtest.h>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(EngineTopology, UndirectedIngestIsSymmetric) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 128, .num_edges = 512, .seed = 2});
+  Engine engine(EngineConfig{.num_ranks = 3});
+  engine.ingest(make_streams(edges, 3));
+
+  for (RankId r = 0; r < engine.num_ranks(); ++r) {
+    engine.store(r).for_each_vertex([&](VertexId u, const TwoTierAdjacency& adj) {
+      adj.for_each([&](VertexId v, const EdgeProp& prop) {
+        const auto& peer = engine.store(engine.partitioner().owner(v));
+        ASSERT_TRUE(peer.has_edge(v, u)) << u << " -> " << v << " has no reverse";
+        EXPECT_EQ(peer.edge_weight(v, u), prop.weight);
+      });
+    });
+  }
+}
+
+TEST(EngineTopology, StoreMatchesCsrDegrees) {
+  const EdgeList edges = dedupe_undirected(
+      generate_erdos_renyi({.num_vertices = 100, .num_edges = 300, .seed = 6}));
+  const CsrGraph g = undirected_csr(edges);
+  Engine engine(EngineConfig{.num_ranks = 2});
+  engine.ingest(make_streams(edges, 2));
+
+  for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
+    const VertexId ext = g.external_of(v);
+    EXPECT_EQ(engine.store(engine.partitioner().owner(ext)).degree(ext),
+              g.degree(v))
+        << "vertex " << ext;
+  }
+}
+
+TEST(EngineTopology, WeightsSurviveRouting) {
+  Engine engine(EngineConfig{.num_ranks = 4});
+  std::vector<EdgeEvent> events;
+  for (VertexId v = 0; v < 50; ++v)
+    events.push_back({v, v + 1000, static_cast<Weight>(v + 7), EdgeOp::kAdd});
+  engine.ingest(split_events(events, 4));
+  for (VertexId v = 0; v < 50; ++v) {
+    const auto owner = engine.partitioner().owner(v);
+    EXPECT_EQ(engine.store(owner).edge_weight(v, v + 1000), v + 7);
+    const auto rev_owner = engine.partitioner().owner(v + 1000);
+    EXPECT_EQ(engine.store(rev_owner).edge_weight(v + 1000, v), v + 7);
+  }
+}
+
+TEST(EngineTopology, MixedAddDeleteStreamsLeaveConsistentStore) {
+  // Adds followed (in the same stream) by deletes of the same edges: the
+  // per-stream FIFO guarantees the delete lands after its add.
+  std::vector<EdgeEvent> events;
+  for (VertexId v = 0; v < 40; ++v) events.push_back({v, v + 1, 1, EdgeOp::kAdd});
+  for (VertexId v = 0; v < 40; v += 2)
+    events.push_back({v, v + 1, 1, EdgeOp::kDelete});
+  // Single stream: order is preserved end to end.
+  Engine engine(EngineConfig{.num_ranks = 3});
+  engine.ingest(split_events(events, 1));
+
+  for (VertexId v = 0; v < 40; ++v) {
+    const bool expect_present = (v % 2) != 0;
+    EXPECT_EQ(engine.store(engine.partitioner().owner(v)).has_edge(v, v + 1),
+              expect_present)
+        << "edge " << v;
+  }
+}
+
+TEST(EngineTopology, HighDegreeVertexPromotesToTable) {
+  EngineConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.store.promote_threshold = 4;
+  Engine engine(cfg);
+  std::vector<EdgeEvent> events;
+  for (VertexId nbr = 1; nbr <= 64; ++nbr) events.push_back({0, nbr, 1, EdgeOp::kAdd});
+  engine.ingest(split_events(events, 2));
+
+  const auto& store = engine.store(engine.partitioner().owner(0));
+  ASSERT_NE(store.adjacency(0), nullptr);
+  EXPECT_TRUE(store.adjacency(0)->promoted());
+  EXPECT_EQ(store.degree(0), 64u);
+}
+
+TEST(EngineTopology, SelfLoopDoesNotDuplicate) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  engine.inject_edge({5, 5, 1, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(engine.total_stored_edges(), 1u);
+  EXPECT_TRUE(engine.store(engine.partitioner().owner(5)).has_edge(5, 5));
+}
+
+TEST(EngineTopology, MemoryAccountingIsPositiveAndGrows) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  const std::size_t empty = engine.store_memory_bytes();
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 256, .num_edges = 2048, .seed = 1});
+  engine.ingest(make_streams(edges, 2));
+  EXPECT_GT(engine.store_memory_bytes(), empty);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,130 @@
+// "When" queries (Section III-E): no false positives, fire-exactly-once,
+// prompt firing on already-satisfied registration, and when_any semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Triggers, BfsPathLengthQueryFiresOnceAtThreshold) {
+  // "trigger a callback immediately after a node ... has a path shorter
+  // than a specified length to the BFS source" (Section V-B).
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(0);
+  engine.inject_init(id, 0);
+
+  std::atomic<int> fires{0};
+  std::atomic<StateWord> level_at_fire{0};
+  engine.when(id, 4, [](StateWord lvl) { return lvl <= 4; },
+              [&](VertexId, StateWord lvl) {
+                fires.fetch_add(1);
+                level_at_fire.store(lvl);
+              });
+
+  // Long path first: 0-10-11-12-4 gives level 5 (> 4): must not fire.
+  for (const auto& [a, b] : std::vector<std::pair<VertexId, VertexId>>{
+           {0, 10}, {10, 11}, {11, 12}, {12, 4}}) {
+    engine.inject_edge({a, b, 1, EdgeOp::kAdd});
+  }
+  engine.drain();
+  EXPECT_EQ(fires.load(), 0);
+
+  // Shortcut 0-4: level drops to 2: fires exactly once.
+  engine.inject_edge({0, 4, 1, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(level_at_fire.load(), 2u);
+
+  // Further improvements cannot re-fire a retired trigger.
+  engine.inject_edge({4, 99, 1, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST(Triggers, RegistrationOnSatisfiedStateFiresPromptly) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(0);
+  engine.inject_init(id, 0);
+  engine.inject_edge({0, 1, 1, EdgeOp::kAdd});
+  engine.drain();
+  ASSERT_EQ(engine.state_of(id, 1), 2u);
+
+  std::atomic<int> fires{0};
+  engine.when(id, 1, [](StateWord lvl) { return lvl <= 2; },
+              [&](VertexId, StateWord) { fires.fetch_add(1); });
+  // Absorption happens on the rank thread within its park interval.
+  for (int spin = 0; spin < 2000 && fires.load() == 0; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST(Triggers, TriggersDuringSaturatedIngestion) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 300, .num_edges = 1500, .seed = 31});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+  const auto oracle = static_bfs(g, g.dense_of(source));
+
+  // Pick ten reachable target vertices.
+  std::vector<VertexId> targets;
+  for (CsrGraph::Dense v = 0; v < g.num_vertices() && targets.size() < 10; ++v)
+    if (oracle[v] != kInfiniteState && g.external_of(v) != source)
+      targets.push_back(g.external_of(v));
+
+  Engine engine(EngineConfig{.num_ranks = 3});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(source);
+  engine.inject_init(id, source);
+
+  std::atomic<int> fires{0};
+  for (const VertexId t : targets)
+    engine.when(id, t, [](StateWord lvl) { return lvl != kInfiniteState; },
+                [&](VertexId, StateWord) { fires.fetch_add(1); });
+
+  engine.ingest(make_streams(edges, 3));
+  EXPECT_EQ(fires.load(), static_cast<int>(targets.size()));
+}
+
+TEST(Triggers, NoFalsePositiveForUnreachableVertex) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(0);
+  engine.inject_init(id, 0);
+
+  std::atomic<int> fires{0};
+  engine.when(id, 7, [](StateWord lvl) { return lvl != kInfiniteState; },
+              [&](VertexId, StateWord) { fires.fetch_add(1); });
+
+  engine.ingest(make_streams(small_graph(), 2));  // 7 is in the other component
+  EXPECT_EQ(fires.load(), 0);
+}
+
+TEST(Triggers, WhenAnyFiresAtMostOncePerVertex) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+
+  std::mutex mu;
+  std::set<VertexId> fired;
+  bool duplicate = false;
+  engine.when_any(id, [](StateWord label) { return label != 0; },
+                  [&](VertexId v, StateWord) {
+                    std::lock_guard g(mu);
+                    duplicate |= !fired.insert(v).second;
+                  });
+
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 64, .num_edges = 256, .seed = 12});
+  engine.ingest(make_streams(edges, 2));
+
+  std::lock_guard g(mu);
+  EXPECT_FALSE(duplicate);
+  EXPECT_GT(fired.size(), 0u);
+  // Every vertex that exists fired exactly once (label transitions 0 -> h).
+  EXPECT_EQ(fired.size(), engine.total_stored_vertices());
+}
+
+}  // namespace
+}  // namespace remo::test

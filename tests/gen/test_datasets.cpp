@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "gen/datasets.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Datasets, Table1RegistryHasFourEntries) {
+  DatasetScale s;
+  s.scale_shift = -4;  // tiny for the test
+  const auto all = table1_datasets(s);
+  ASSERT_EQ(all.size(), 4u);
+  for (const Dataset& d : all) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_FALSE(d.stands_for.empty());
+    EXPECT_FALSE(d.edges.empty());
+    EXPECT_TRUE(d.undirected);
+  }
+}
+
+TEST(Datasets, ScaleShiftChangesSize) {
+  DatasetScale small{.scale_shift = -5, .seed = 1};
+  DatasetScale large{.scale_shift = -3, .seed = 1};
+  EXPECT_LT(make_synth_twitter(small).edges.size(),
+            make_synth_twitter(large).edges.size());
+}
+
+TEST(Datasets, RmatNameEncodesScale) {
+  const Dataset d = make_rmat(8);
+  EXPECT_EQ(d.name, "rmat-8");
+  EXPECT_EQ(d.edges.size(), (1u << 8) * 16u);
+}
+
+TEST(Datasets, BenchScaleFromEnv) {
+  setenv("REMO_BENCH_SCALE", "-2", 1);
+  EXPECT_EQ(bench_scale_from_env().scale_shift, -2);
+  unsetenv("REMO_BENCH_SCALE");
+  EXPECT_EQ(bench_scale_from_env().scale_shift, 0);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(ErdosRenyi, SizeAndRange) {
+  const EdgeList e =
+      generate_erdos_renyi({.num_vertices = 100, .num_edges = 1000, .seed = 1});
+  EXPECT_EQ(e.size(), 1000u);
+  for (const Edge& edge : e) {
+    EXPECT_LT(edge.src, 100u);
+    EXPECT_LT(edge.dst, 100u);
+    EXPECT_NE(edge.src, edge.dst);  // self-loops off by default
+  }
+}
+
+TEST(ErdosRenyi, SelfLoopsWhenAllowed) {
+  const EdgeList e = generate_erdos_renyi({.num_vertices = 4,
+                                           .num_edges = 5000,
+                                           .allow_self_loops = true,
+                                           .seed = 2});
+  bool any_loop = false;
+  for (const Edge& edge : e) any_loop |= edge.src == edge.dst;
+  EXPECT_TRUE(any_loop);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const ErdosRenyiParams p{.num_vertices = 64, .num_edges = 128, .seed = 9};
+  EXPECT_EQ(generate_erdos_renyi(p), generate_erdos_renyi(p));
+}
+
+TEST(ErdosRenyi, RoughlyUniformEndpoints) {
+  const EdgeList e =
+      generate_erdos_renyi({.num_vertices = 10, .num_edges = 100000, .seed = 3});
+  std::uint64_t counts[10] = {};
+  for (const Edge& edge : e) ++counts[edge.src];
+  for (const std::uint64_t c : counts) {
+    EXPECT_GT(c, 8500u);
+    EXPECT_LT(c, 11500u);
+  }
+}
+
+}  // namespace
+}  // namespace remo::test

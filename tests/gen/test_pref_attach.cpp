@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/pref_attach.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(PrefAttach, EdgeCountMatchesParams) {
+  PrefAttachParams p;
+  p.num_vertices = 1000;
+  p.edges_per_vertex = 4;
+  p.seed_clique = 4;
+  const EdgeList e = generate_pref_attach(p);
+  // clique edges + m per subsequent vertex (capped by current size).
+  const std::size_t clique = 4 * 3 / 2;
+  EXPECT_EQ(e.size(), clique + (1000 - 4) * 4);
+}
+
+TEST(PrefAttach, StreamIsNaturallyIncremental) {
+  // After the seed clique, each arriving vertex (the edge source) only
+  // attaches to vertices that already joined, and vertices arrive in
+  // nondecreasing order — a naturally incremental event feed.
+  PrefAttachParams p;
+  p.num_vertices = 500;
+  p.edges_per_vertex = 3;
+  p.seed_clique = 4;
+  const EdgeList e = generate_pref_attach(p);
+  const std::size_t clique_edges = 4 * 3 / 2;
+  VertexId last_src = 0;
+  for (std::size_t i = clique_edges; i < e.size(); ++i) {
+    EXPECT_LT(e[i].dst, e[i].src);
+    EXPECT_GE(e[i].src, last_src);
+    last_src = e[i].src;
+  }
+}
+
+TEST(PrefAttach, ProducesHeavyTail) {
+  PrefAttachParams p;
+  p.num_vertices = 5000;
+  p.edges_per_vertex = 8;
+  const EdgeList e = generate_pref_attach(p);
+  std::vector<std::uint64_t> degree(5000, 0);
+  for (const Edge& edge : e) {
+    ++degree[edge.src];
+    ++degree[edge.dst];
+  }
+  const std::uint64_t max_deg = *std::max_element(degree.begin(), degree.end());
+  const double mean = 2.0 * static_cast<double>(e.size()) / 5000.0;
+  EXPECT_GT(static_cast<double>(max_deg), mean * 10);
+}
+
+TEST(PrefAttach, Deterministic) {
+  PrefAttachParams p;
+  p.num_vertices = 200;
+  p.seed = 11;
+  EXPECT_EQ(generate_pref_attach(p), generate_pref_attach(p));
+}
+
+}  // namespace
+}  // namespace remo::test

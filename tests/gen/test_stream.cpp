@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/stream.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Stream, RoundRobinSplitPreservesAllEvents) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 64, .num_edges = 1000, .seed = 1});
+  const StreamSet s = make_streams(edges, 3, StreamOptions{.shuffle = false});
+  EXPECT_EQ(s.num_streams(), 3u);
+  EXPECT_EQ(s.total_events(), edges.size());
+
+  // Multiset of events matches the input.
+  std::multiset<std::pair<VertexId, VertexId>> in, out;
+  for (const Edge& e : edges) in.emplace(e.src, e.dst);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (const EdgeEvent& e : s.stream(i).events()) out.emplace(e.src, e.dst);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Stream, UnshuffledSplitKeepsRelativeOrder) {
+  EdgeList edges;
+  for (VertexId v = 0; v < 30; ++v) edges.push_back({v, v + 1, 1});
+  const StreamSet s = make_streams(edges, 4, StreamOptions{.shuffle = false});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& ev = s.stream(i).events();
+    for (std::size_t k = 0; k + 1 < ev.size(); ++k)
+      EXPECT_LT(ev[k].src, ev[k + 1].src);  // original order within stream
+  }
+}
+
+TEST(Stream, ShuffleIsSeededAndPermutes) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 64, .num_edges = 500, .seed = 2});
+  const StreamSet a = make_streams(edges, 2, StreamOptions{.seed = 7});
+  const StreamSet b = make_streams(edges, 2, StreamOptions{.seed = 7});
+  const StreamSet c = make_streams(edges, 2, StreamOptions{.seed = 8});
+  EXPECT_EQ(a.stream(0).events(), b.stream(0).events());
+  EXPECT_NE(a.stream(0).events(), c.stream(0).events());
+}
+
+TEST(Stream, WeightsDrawnFromRange) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 32, .num_edges = 2000, .seed = 3});
+  const StreamSet s =
+      make_streams(edges, 1, StreamOptions{.min_weight = 5, .max_weight = 9});
+  bool saw_min = false, saw_max = false;
+  for (const EdgeEvent& e : s.stream(0).events()) {
+    EXPECT_GE(e.weight, 5u);
+    EXPECT_LE(e.weight, 9u);
+    saw_min |= e.weight == 5;
+    saw_max |= e.weight == 9;
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(Stream, SplitEventsHandlesDeletes) {
+  std::vector<EdgeEvent> events = {{1, 2, 1, EdgeOp::kAdd},
+                                   {1, 2, 1, EdgeOp::kDelete}};
+  const StreamSet s = split_events(events, 1);
+  ASSERT_EQ(s.stream(0).size(), 2u);
+  EXPECT_EQ(s.stream(0)[0].op, EdgeOp::kAdd);
+  EXPECT_EQ(s.stream(0)[1].op, EdgeOp::kDelete);
+}
+
+TEST(Stream, EmptyInputYieldsEmptyStreams) {
+  const StreamSet s = make_streams({}, 3);
+  EXPECT_EQ(s.num_streams(), 3u);
+  EXPECT_EQ(s.total_events(), 0u);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/csr.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Csr, BuildFromSparseIds) {
+  const EdgeList edges = {{1000, 5, 1}, {5, 99999, 2}, {1000, 99999, 3}};
+  const CsrGraph g = CsrGraph::build(edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+
+  const auto d1000 = g.dense_of(1000);
+  ASSERT_NE(d1000, CsrGraph::kNoVertex);
+  EXPECT_EQ(g.external_of(d1000), 1000u);
+  EXPECT_EQ(g.degree(d1000), 2u);
+  EXPECT_EQ(g.dense_of(123456), CsrGraph::kNoVertex);
+}
+
+TEST(Csr, NeighboursAndWeightsAligned) {
+  const EdgeList edges = {{1, 2, 10}, {1, 3, 20}, {2, 3, 30}};
+  const CsrGraph g = CsrGraph::build(edges);
+  const auto d1 = g.dense_of(1);
+  const auto nbrs = g.neighbours(d1);
+  const auto ws = g.weights(d1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  ASSERT_EQ(ws.size(), 2u);
+  std::set<std::pair<VertexId, Weight>> seen;
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    seen.emplace(g.external_of(nbrs[i]), ws[i]);
+  EXPECT_TRUE(seen.count({2, 10}));
+  EXPECT_TRUE(seen.count({3, 20}));
+}
+
+TEST(Csr, EmptyGraph) {
+  const CsrGraph g = CsrGraph::build({});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Csr, DuplicateEdgesAreKept) {
+  const EdgeList edges = {{1, 2, 1}, {1, 2, 1}};
+  const CsrGraph g = CsrGraph::build(edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(g.dense_of(1)), 2u);
+}
+
+TEST(Csr, WithReverseEdgesDoublesArcs) {
+  const EdgeList edges = {{1, 2, 7}};
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(edges));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(g.dense_of(2)), 1u);
+  EXPECT_EQ(g.weights(g.dense_of(2))[0], 7u);
+}
+
+TEST(Csr, MaxVertexIdHelper) {
+  EXPECT_EQ(max_vertex_id({}), kInvalidVertex);
+  EXPECT_EQ(max_vertex_id({{3, 9, 1}, {2, 4, 1}}), 9u);
+}
+
+TEST(Csr, MemoryBytesNonTrivial) {
+  const EdgeList edges = {{1, 2, 1}, {2, 3, 1}};
+  const CsrGraph g = CsrGraph::build(edges);
+  EXPECT_GT(g.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace remo::test

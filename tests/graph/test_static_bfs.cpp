@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "graph/static_bfs.hpp"
+
+namespace remo::test {
+namespace {
+
+CsrGraph chain(std::size_t n) {
+  EdgeList e;
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    e.push_back({v, v + 1, 1});
+    e.push_back({v + 1, v, 1});
+  }
+  return CsrGraph::build(e);
+}
+
+TEST(StaticBfs, ChainLevels) {
+  const CsrGraph g = chain(10);
+  const auto levels = static_bfs(g, g.dense_of(0));
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(levels[g.dense_of(v)], v + 1);
+}
+
+TEST(StaticBfs, UnreachableIsInfinite) {
+  const EdgeList e = {{0, 1, 1}, {1, 0, 1}, {5, 6, 1}, {6, 5, 1}};
+  const CsrGraph g = CsrGraph::build(e);
+  const auto levels = static_bfs(g, g.dense_of(0));
+  EXPECT_EQ(levels[g.dense_of(1)], 2u);
+  EXPECT_EQ(levels[g.dense_of(5)], kInfiniteState);
+  EXPECT_EQ(levels[g.dense_of(6)], kInfiniteState);
+}
+
+TEST(StaticBfs, TreeParentsAreOneLevelUpAndMinimal) {
+  // Diamond with two possible parents for the sink.
+  const EdgeList e = {{0, 1, 1}, {1, 0, 1}, {0, 2, 1}, {2, 0, 1},
+                      {1, 3, 1}, {3, 1, 1}, {2, 3, 1}, {3, 2, 1}};
+  const CsrGraph g = CsrGraph::build(e);
+  const BfsTree t = static_bfs_tree(g, g.dense_of(0));
+  EXPECT_EQ(t.parent[g.dense_of(0)], g.dense_of(0));
+  EXPECT_EQ(g.external_of(t.parent[g.dense_of(3)]), 1u);  // lowest-id parent
+  for (VertexId v = 1; v <= 3; ++v) {
+    const auto d = g.dense_of(v);
+    EXPECT_EQ(t.level[t.parent[d]] + 1, t.level[d]);
+  }
+}
+
+TEST(StaticBfs, LevelsAreMonotoneAcrossEdges) {
+  const EdgeList base = generate_erdos_renyi({.num_vertices = 300, .num_edges = 900,
+                                              .seed = 42});
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(base));
+  const auto levels = static_bfs(g, 0);
+  // Triangle inequality over every arc: |level(u) - level(v)| <= 1 when
+  // both reached.
+  for (CsrGraph::Dense u = 0; u < g.num_vertices(); ++u) {
+    if (levels[u] == kInfiniteState) continue;
+    for (const CsrGraph::Dense v : g.neighbours(u)) {
+      ASSERT_NE(levels[v], kInfiniteState);
+      EXPECT_LE(levels[v], levels[u] + 1);
+      EXPECT_LE(levels[u], levels[v] + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remo::test

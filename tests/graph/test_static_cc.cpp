@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/erdos_renyi.hpp"
+#include "graph/static_cc.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(StaticCc, InitialLabelIsNonZeroAndDeterministic) {
+  for (VertexId v = 0; v < 1000; ++v) {
+    EXPECT_NE(cc_initial_label(v), 0u);
+    EXPECT_EQ(cc_initial_label(v), cc_initial_label(v));
+  }
+}
+
+TEST(StaticCc, TwoComponentsTwoLabels) {
+  const EdgeList e = {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1},
+                      {5, 6, 1}, {6, 5, 1}};
+  const CsrGraph g = CsrGraph::build(e);
+  const auto labels = static_cc_union_find(g);
+  EXPECT_EQ(labels[g.dense_of(0)], labels[g.dense_of(1)]);
+  EXPECT_EQ(labels[g.dense_of(1)], labels[g.dense_of(2)]);
+  EXPECT_EQ(labels[g.dense_of(5)], labels[g.dense_of(6)]);
+  EXPECT_NE(labels[g.dense_of(0)], labels[g.dense_of(5)]);
+  EXPECT_EQ(static_cc_count(g), 2u);
+}
+
+TEST(StaticCc, LabelIsComponentMaximum) {
+  const EdgeList e = {{10, 20, 1}, {20, 10, 1}, {20, 30, 1}, {30, 20, 1}};
+  const CsrGraph g = CsrGraph::build(e);
+  const auto labels = static_cc_union_find(g);
+  const StateWord expect = std::max(
+      {cc_initial_label(10), cc_initial_label(20), cc_initial_label(30)});
+  for (const VertexId v : {10u, 20u, 30u}) EXPECT_EQ(labels[g.dense_of(v)], expect);
+}
+
+TEST(StaticCc, PropagationEqualsUnionFindOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 7u, 19u}) {
+    const EdgeList base = generate_erdos_renyi(
+        {.num_vertices = 400, .num_edges = 450, .seed = seed});
+    const CsrGraph g = CsrGraph::build(with_reverse_edges(base));
+    EXPECT_EQ(static_cc_labels(g), static_cc_union_find(g)) << "seed " << seed;
+  }
+}
+
+TEST(StaticCc, ComponentCountMatchesLabelCardinality) {
+  const EdgeList base =
+      generate_erdos_renyi({.num_vertices = 300, .num_edges = 200, .seed = 3});
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(base));
+  const auto labels = static_cc_union_find(g);
+  const std::set<StateWord> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(static_cc_count(g), distinct.size());
+}
+
+}  // namespace
+}  // namespace remo::test

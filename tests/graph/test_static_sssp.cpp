@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/static_bfs.hpp"
+#include "graph/static_sssp.hpp"
+
+namespace remo::test {
+namespace {
+
+CsrGraph weighted_graph(std::uint64_t seed, Weight max_w) {
+  EdgeList base =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 700, .seed = seed});
+  EdgeList undirected;
+  for (const Edge& e : base) {
+    const Weight w = 1 + static_cast<Weight>(splitmix64(e.src * 31 + e.dst) % max_w);
+    undirected.push_back({e.src, e.dst, w});
+    undirected.push_back({e.dst, e.src, w});
+  }
+  return CsrGraph::build(undirected);
+}
+
+TEST(StaticSssp, HandComputedDiamond) {
+  const EdgeList e = {{0, 1, 5}, {1, 0, 5}, {0, 2, 1}, {2, 0, 1},
+                      {2, 3, 1}, {3, 2, 1}, {1, 3, 1}, {3, 1, 1}};
+  const CsrGraph g = CsrGraph::build(e);
+  const auto d = static_sssp_dijkstra(g, g.dense_of(0));
+  EXPECT_EQ(d[g.dense_of(0)], 1u);
+  EXPECT_EQ(d[g.dense_of(2)], 2u);
+  EXPECT_EQ(d[g.dense_of(3)], 3u);
+  EXPECT_EQ(d[g.dense_of(1)], 4u);  // via 0-2-3-1
+}
+
+TEST(StaticSssp, DijkstraEqualsDeltaStepping) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const Weight max_w : {Weight{1}, Weight{8}, Weight{100}}) {
+      const CsrGraph g = weighted_graph(seed, max_w);
+      const auto dj = static_sssp_dijkstra(g, 0);
+      for (const Weight delta : {Weight{0}, Weight{1}, Weight{4}, Weight{64}}) {
+        const auto ds = static_sssp_delta(g, 0, delta);
+        ASSERT_EQ(dj, ds) << "seed=" << seed << " max_w=" << max_w
+                          << " delta=" << delta;
+      }
+    }
+  }
+}
+
+TEST(StaticSssp, UnitWeightsEqualBfs) {
+  const EdgeList base =
+      generate_erdos_renyi({.num_vertices = 150, .num_edges = 500, .seed = 5});
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(base));
+  EXPECT_EQ(static_sssp_dijkstra(g, 0), static_bfs(g, 0));
+}
+
+TEST(StaticSssp, RelaxationInvariantHolds) {
+  const CsrGraph g = weighted_graph(9, 16);
+  const auto d = static_sssp_dijkstra(g, 0);
+  for (CsrGraph::Dense u = 0; u < g.num_vertices(); ++u) {
+    if (d[u] == kInfiniteState) continue;
+    const auto nbrs = g.neighbours(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      EXPECT_LE(d[nbrs[i]], d[u] + ws[i]);
+  }
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "graph/static_bfs.hpp"
+#include "graph/static_st.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(StaticSt, MasksTrackReachability) {
+  // Components {0,1,2} and {5,6}.
+  const EdgeList e = {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1},
+                      {5, 6, 1}, {6, 5, 1}};
+  const CsrGraph g = CsrGraph::build(e);
+  const auto masks = static_multi_st(g, {g.dense_of(0), g.dense_of(5)});
+  EXPECT_EQ(masks[g.dense_of(0)], 0b01u);
+  EXPECT_EQ(masks[g.dense_of(2)], 0b01u);
+  EXPECT_EQ(masks[g.dense_of(5)], 0b10u);
+  EXPECT_EQ(masks[g.dense_of(6)], 0b10u);
+}
+
+TEST(StaticSt, SourceOwnBitAlwaysSet) {
+  const EdgeList e = {{0, 1, 1}, {1, 0, 1}};
+  const CsrGraph g = CsrGraph::build(e);
+  const auto masks = static_multi_st(g, {g.dense_of(1)});
+  EXPECT_EQ(masks[g.dense_of(1)], 1u);
+}
+
+TEST(StaticSt, BitSetIffBfsReaches) {
+  const EdgeList base =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 300, .seed = 8});
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(base));
+  const std::vector<CsrGraph::Dense> sources = {0, 1, 2, 3};
+  const auto masks = static_multi_st(g, sources);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto levels = static_bfs(g, sources[i]);
+    for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
+      const bool reached = levels[v] != kInfiniteState;
+      EXPECT_EQ((masks[v] >> i) & 1, reached ? 1u : 0u)
+          << "source " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST(StaticSt, WideVariantMatchesPacked) {
+  const EdgeList base =
+      generate_erdos_renyi({.num_vertices = 150, .num_edges = 250, .seed = 9});
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(base));
+  std::vector<CsrGraph::Dense> sources;
+  for (CsrGraph::Dense s = 0; s < 40; ++s) sources.push_back(s);
+  const auto packed = static_multi_st(g, sources);
+  const auto wide = static_multi_st_wide(g, sources);
+  for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v)
+    for (std::size_t i = 0; i < sources.size(); ++i)
+      EXPECT_EQ((packed[v] >> i) & 1, wide[v].test(i) ? 1u : 0u);
+}
+
+TEST(StaticSt, WideVariantSupportsOver64Sources) {
+  const EdgeList base =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 600, .seed = 10});
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(base));
+  std::vector<CsrGraph::Dense> sources;
+  for (CsrGraph::Dense s = 0; s < 100; ++s) sources.push_back(s);
+  const auto wide = static_multi_st_wide(g, sources);
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    EXPECT_TRUE(wide[sources[i]].test(i));
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,88 @@
+// Chaos-mode convergence: random per-rank delays widen the asynchronous
+// interleaving space; every invariant must survive unchanged. Also covers
+// the kModulo partitioner (the imbalance baseline the paper's consistent
+// hashing protects against) — correctness is placement-independent.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+class ChaosSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, bool>> {};
+
+TEST_P(ChaosSweep, AllAlgorithmsConvergeUnderRandomDelays) {
+  const auto [ranks, seed, modulo_part] = GetParam();
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 800, .seed = seed});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  EngineConfig cfg;
+  cfg.num_ranks = static_cast<RankId>(ranks);
+  cfg.chaos_delay_us = 50;
+  cfg.batch_size = 8;    // small batches: more flush boundaries
+  cfg.stream_chunk = 4;  // fine-grained interleaving of pulls and drains
+  cfg.partition = modulo_part ? PartitionMode::kModulo : PartitionMode::kHash;
+  Engine engine(cfg);
+
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(source);
+  auto [cc_id, cc] = engine.attach_make<DynamicCc>();
+  auto [st_id, st] =
+      engine.attach_make<MultiStConnectivity>(std::vector<VertexId>{source});
+  engine.inject_init(bfs_id, source);
+  inject_st_sources(engine, st_id, *st);
+
+  engine.ingest(make_streams(edges, static_cast<std::size_t>(ranks),
+                             StreamOptions{.seed = seed}));
+
+  const CsrGraph::Dense s = g.dense_of(source);
+  expect_matches_oracle(engine, bfs_id, g, static_bfs(g, s));
+  expect_matches_oracle(engine, cc_id, g, static_cc_union_find(g));
+  expect_matches_oracle(engine, st_id, g, static_multi_st(g, {s}));
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksSeedsPartition, ChaosSweep,
+                         ::testing::Combine(::testing::Values(2, 4),
+                                            ::testing::Values(81u, 82u),
+                                            ::testing::Bool()));
+
+TEST(Chaos, VersionedCollectionSurvivesDelays) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 1500, .seed = 83});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  EngineConfig cfg;
+  cfg.num_ranks = 3;
+  cfg.chaos_delay_us = 100;
+  Engine engine(cfg);
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(source);
+  engine.inject_init(id, source);
+  const StreamSet streams = make_streams(edges, 3);
+  engine.ingest_async(streams);
+  const Snapshot cut = engine.collect_versioned(id);
+  engine.await_quiescence();
+
+  EXPECT_EQ(cut.at(source), 1u);
+  expect_matches_oracle(engine, id, g, static_bfs(g, g.dense_of(source)));
+}
+
+TEST(Chaos, SafraSurvivesDelays) {
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 128, .num_edges = 512, .seed = 84});
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.termination = TerminationMode::kSafra;
+  cfg.chaos_delay_us = 100;
+  Engine engine(cfg);
+  const IngestStats stats = engine.ingest(make_streams(edges, 4));
+  EXPECT_EQ(stats.events, edges.size());
+  EXPECT_EQ(engine.total_stored_edges(), engine.metrics().edges_stored);
+}
+
+}  // namespace
+}  // namespace remo::test

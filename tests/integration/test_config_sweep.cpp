@@ -1,0 +1,79 @@
+// Engine tuning parameters must never affect correctness: batch size
+// (send-buffer flush boundaries), stream chunk (ingest/drain interleaving
+// granularity), and the storage promotion threshold all change the
+// message schedule — the converged state must not move.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+class ConfigSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint32_t>> {};
+
+TEST_P(ConfigSweep, TuningParametersPreserveConvergence) {
+  const auto [batch, chunk, promote] = GetParam();
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 250, .num_edges = 1000, .seed = 73});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  EngineConfig cfg;
+  cfg.num_ranks = 3;
+  cfg.batch_size = batch;
+  cfg.stream_chunk = chunk;
+  cfg.store.promote_threshold = promote;
+  Engine engine(cfg);
+
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(source);
+  auto [cc_id, cc] = engine.attach_make<DynamicCc>();
+  engine.inject_init(bfs_id, source);
+  engine.ingest(make_streams(edges, 3, StreamOptions{.seed = 73}));
+
+  expect_matches_oracle(engine, bfs_id, g, static_bfs(g, g.dense_of(source)));
+  expect_matches_oracle(engine, cc_id, g, static_cc_union_find(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchChunkPromote, ConfigSweep,
+                         ::testing::Combine(
+                             /*batch_size=*/::testing::Values<std::size_t>(1, 7, 1024),
+                             /*stream_chunk=*/::testing::Values<std::size_t>(1, 64),
+                             /*promote=*/::testing::Values<std::uint32_t>(0, 2, 64)));
+
+TEST(ConfigSweep, ManyRanksSmoke) {
+  // More ranks than the host has cores: pure middleware stress.
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 200, .num_edges = 800, .seed = 74});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  EngineConfig cfg;
+  cfg.num_ranks = 16;
+  Engine engine(cfg);
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(source);
+  engine.inject_init(id, source);
+  engine.ingest(make_streams(edges, 16));
+  expect_matches_oracle(engine, id, g, static_bfs(g, g.dense_of(source)));
+}
+
+TEST(ConfigSweep, SingleRankDegeneratesToSequential) {
+  // P=1: everything is rank-local; still must match the oracle, and no
+  // remote messages may occur.
+  const EdgeList edges =
+      generate_erdos_renyi({.num_vertices = 150, .num_edges = 600, .seed = 75});
+  const CsrGraph g = undirected_csr(edges);
+  const VertexId source = vertex_in_largest_cc(g);
+
+  Engine engine(EngineConfig{.num_ranks = 1});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(source);
+  engine.inject_init(id, source);
+  engine.ingest(make_streams(edges, 1));
+  expect_matches_oracle(engine, id, g, static_bfs(g, g.dense_of(source)));
+  EXPECT_EQ(engine.metrics().remote_messages, 0u);
+}
+
+}  // namespace
+}  // namespace remo::test

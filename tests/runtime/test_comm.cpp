@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace remo::test {
+namespace {
+
+Visitor basic(VertexId target, std::uint16_t epoch = 0) {
+  Visitor v{};
+  v.target = target;
+  v.kind = VisitKind::kUpdate;
+  v.epoch = epoch;
+  return v;
+}
+
+Visitor control() {
+  Visitor v{};
+  v.kind = VisitKind::kControl;
+  return v;
+}
+
+TEST(Comm, SendBuffersUntilFlush) {
+  Comm comm(2, /*batch_size=*/16);
+  comm.send(0, 1, basic(42));
+  EXPECT_TRUE(comm.has_buffered(0));
+  EXPECT_TRUE(comm.mailbox(1).empty());  // not yet delivered
+  EXPECT_EQ(comm.in_flight_total(), 1);  // but already accounted
+
+  comm.flush(0);
+  EXPECT_FALSE(comm.has_buffered(0));
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.mailbox(1).drain(out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].target, 42u);
+}
+
+TEST(Comm, BatchSizeTriggersAutoFlush) {
+  Comm comm(2, /*batch_size=*/4);
+  for (int i = 0; i < 4; ++i) comm.send(0, 1, basic(static_cast<VertexId>(i)));
+  // Hitting the batch size flushed automatically.
+  EXPECT_FALSE(comm.has_buffered(0));
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.mailbox(1).drain(out));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Comm, InFlightAccountingByEpochParity) {
+  Comm comm(2);
+  comm.send(0, 1, basic(1, /*epoch=*/4));  // parity 0
+  comm.send(0, 1, basic(2, /*epoch=*/5));  // parity 1
+  comm.send(0, 1, basic(3, /*epoch=*/5));
+  EXPECT_EQ(comm.in_flight(0), 1);
+  EXPECT_EQ(comm.in_flight(1), 2);
+  EXPECT_EQ(comm.in_flight_total(), 3);
+  comm.note_processed(5);
+  EXPECT_EQ(comm.in_flight(1), 1);
+  comm.note_processed(4);
+  comm.note_processed(5);
+  EXPECT_EQ(comm.in_flight_total(), 0);
+}
+
+TEST(Comm, ControlMessagesAreNotAccounted) {
+  Comm comm(2);
+  comm.send(0, 1, control());
+  EXPECT_EQ(comm.in_flight_total(), 0);
+  comm.flush(0);
+  std::vector<Visitor> out;
+  EXPECT_TRUE(comm.mailbox(1).drain(out));
+}
+
+TEST(Comm, InjectedEventsPairWithProcessed) {
+  Comm comm(1);
+  comm.note_injected(0);
+  comm.note_injected(1);
+  EXPECT_EQ(comm.in_flight_total(), 2);
+  comm.note_processed(0);
+  comm.note_processed(1);
+  EXPECT_EQ(comm.in_flight_total(), 0);
+}
+
+TEST(Comm, FifoAcrossFlushes) {
+  Comm comm(2, /*batch_size=*/3);
+  for (int i = 0; i < 10; ++i) comm.send(0, 1, basic(static_cast<VertexId>(i)));
+  comm.flush(0);
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.mailbox(1).drain(out));
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)].target,
+                                         static_cast<VertexId>(i));
+}
+
+TEST(Comm, SelfSendDeliversToOwnMailbox) {
+  Comm comm(1);
+  comm.send(0, 0, basic(9));
+  comm.flush(0);
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.mailbox(0).drain(out));
+  EXPECT_EQ(out[0].target, 9u);
+}
+
+}  // namespace
+}  // namespace remo::test

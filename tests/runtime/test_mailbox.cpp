@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+
+namespace remo::test {
+namespace {
+
+Visitor make_visitor(VertexId target, StateWord value) {
+  Visitor v{};
+  v.target = target;
+  v.value = value;
+  return v;
+}
+
+TEST(Mailbox, DrainReturnsPushedBatches) {
+  Mailbox box;
+  EXPECT_TRUE(box.empty());
+  std::vector<Visitor> out;
+  EXPECT_FALSE(box.drain(out));
+
+  const Visitor a = make_visitor(1, 10);
+  const Visitor b = make_visitor(2, 20);
+  const Visitor batch[] = {a, b};
+  box.push(batch);
+  EXPECT_FALSE(box.empty());
+  ASSERT_TRUE(box.drain(out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].target, 1u);
+  EXPECT_EQ(out[1].target, 2u);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, PerProducerFifoOrder) {
+  Mailbox box;
+  std::thread producer([&] {
+    for (StateWord i = 0; i < 10000; ++i) box.push_one(make_visitor(0, i));
+  });
+  StateWord expect = 0;
+  std::vector<Visitor> out;
+  while (expect < 10000) {
+    if (!box.drain(out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const Visitor& v : out) {
+      ASSERT_EQ(v.value, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+}
+
+TEST(Mailbox, TwoProducersInterleaveButStayOrdered) {
+  Mailbox box;
+  auto produce = [&](VertexId id) {
+    for (StateWord i = 0; i < 5000; ++i) box.push_one(make_visitor(id, i));
+  };
+  std::thread p1(produce, 1), p2(produce, 2);
+  StateWord next1 = 0, next2 = 0;
+  std::vector<Visitor> out;
+  while (next1 < 5000 || next2 < 5000) {
+    if (!box.drain(out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const Visitor& v : out) {
+      if (v.target == 1) {
+        ASSERT_EQ(v.value, next1++);
+      } else {
+        ASSERT_EQ(v.value, next2++);
+      }
+    }
+  }
+  p1.join();
+  p2.join();
+}
+
+TEST(Mailbox, WaitTimesOutWhenEmpty) {
+  Mailbox box;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.wait(std::chrono::milliseconds(20)));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(Mailbox, WaitWakesOnPush) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.push_one(make_visitor(7, 7));
+  });
+  EXPECT_TRUE(box.wait(std::chrono::seconds(5)));
+  producer.join();
+}
+
+TEST(Mailbox, InterruptWakesWithoutMessage) {
+  Mailbox box;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.interrupt();
+  });
+  // Returns false (still empty) but well before the 5 s timeout.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.wait(std::chrono::seconds(5)));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(2));
+  waker.join();
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/partitioner.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Partitioner, OwnerIsStableAndInRange) {
+  const Partitioner p(7);
+  for (VertexId v = 0; v < 10000; ++v) {
+    const RankId o = p.owner(v);
+    EXPECT_LT(o, 7u);
+    EXPECT_EQ(o, p.owner(v));  // pure function
+  }
+}
+
+TEST(Partitioner, EveryProcessComputesTheSameOwner) {
+  // Consistent hashing's point (Section III-C): any rank can route any
+  // event with no coordination. Two independent partitioner instances
+  // stand in for two processes.
+  const Partitioner a(5), b(5);
+  for (VertexId v = 0; v < 1000; ++v) EXPECT_EQ(a.owner(v), b.owner(v));
+}
+
+TEST(Partitioner, BalancedOverSequentialIds) {
+  const Partitioner p(4);
+  std::vector<std::uint64_t> counts(4, 0);
+  const std::uint64_t n = 100000;
+  for (VertexId v = 0; v < n; ++v) ++counts[p.owner(v)];
+  for (const std::uint64_t c : counts) {
+    EXPECT_GT(c, n / 4 * 0.95);
+    EXPECT_LT(c, n / 4 * 1.05);
+  }
+}
+
+TEST(Partitioner, SingleRankOwnsEverything) {
+  const Partitioner p(1);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(p.owner(v), 0u);
+}
+
+}  // namespace
+}  // namespace remo::test

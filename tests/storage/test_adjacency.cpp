@@ -1,0 +1,96 @@
+// TwoTierAdjacency: inline tier, promotion, erase semantics, caches.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "storage/adjacency.hpp"
+
+namespace remo::test {
+namespace {
+
+constexpr std::uint32_t kThresh = 8;
+
+TEST(Adjacency, StaysCompactBelowThreshold) {
+  TwoTierAdjacency adj;
+  for (VertexId n = 0; n < kThresh; ++n) EXPECT_TRUE(adj.insert(n, 1, kThresh));
+  EXPECT_FALSE(adj.promoted());
+  EXPECT_EQ(adj.degree(), kThresh);
+}
+
+TEST(Adjacency, PromotesAboveThreshold) {
+  TwoTierAdjacency adj;
+  for (VertexId n = 0; n <= kThresh; ++n) EXPECT_TRUE(adj.insert(n, 1, kThresh));
+  EXPECT_TRUE(adj.promoted());
+  EXPECT_EQ(adj.degree(), kThresh + 1);
+  for (VertexId n = 0; n <= kThresh; ++n) EXPECT_TRUE(adj.contains(n));
+}
+
+TEST(Adjacency, DuplicateInsertUpdatesWeight) {
+  TwoTierAdjacency adj;
+  EXPECT_TRUE(adj.insert(7, 3, kThresh));
+  EXPECT_FALSE(adj.insert(7, 9, kThresh));
+  EXPECT_EQ(adj.degree(), 1u);
+  EXPECT_EQ(adj.weight_of(7), 9u);
+}
+
+TEST(Adjacency, EraseInBothTiers) {
+  TwoTierAdjacency small;
+  small.insert(1, 1, kThresh);
+  small.insert(2, 1, kThresh);
+  EXPECT_TRUE(small.erase(1));
+  EXPECT_FALSE(small.erase(1));
+  EXPECT_EQ(small.degree(), 1u);
+
+  TwoTierAdjacency big;
+  for (VertexId n = 0; n < 50; ++n) big.insert(n, 1, kThresh);
+  EXPECT_TRUE(big.promoted());
+  for (VertexId n = 0; n < 50; n += 2) EXPECT_TRUE(big.erase(n));
+  EXPECT_EQ(big.degree(), 25u);
+  for (VertexId n = 1; n < 50; n += 2) EXPECT_TRUE(big.contains(n));
+}
+
+TEST(Adjacency, PromotedStaysPromotedWhenEmptied) {
+  TwoTierAdjacency adj;
+  for (VertexId n = 0; n < 20; ++n) adj.insert(n, 1, kThresh);
+  for (VertexId n = 0; n < 20; ++n) adj.erase(n);
+  EXPECT_EQ(adj.degree(), 0u);
+  EXPECT_TRUE(adj.promoted());
+  adj.insert(99, 1, kThresh);
+  EXPECT_TRUE(adj.contains(99));
+}
+
+TEST(Adjacency, NeighbourCacheSurvivesPromotion) {
+  TwoTierAdjacency adj;
+  adj.insert(5, 1, kThresh);
+  adj.find(5)->set_cache(/*algo=*/2, 1234);
+  for (VertexId n = 10; n < 10 + kThresh + 2; ++n) adj.insert(n, 1, kThresh);
+  ASSERT_TRUE(adj.promoted());
+  ASSERT_NE(adj.find(5), nullptr);
+  EXPECT_EQ(adj.find(5)->cache_for(2), 1234u);
+  EXPECT_EQ(adj.find(5)->cache_for(3), kInfiniteState);  // other program
+}
+
+TEST(Adjacency, ForEachVisitsAllOnce) {
+  TwoTierAdjacency adj;
+  std::set<VertexId> expect;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const VertexId n = rng.bounded(1000);
+    adj.insert(n, 1, kThresh);
+    expect.insert(n);
+  }
+  std::set<VertexId> seen;
+  adj.for_each([&](VertexId n, EdgeProp&) { EXPECT_TRUE(seen.insert(n).second); });
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Adjacency, ZeroThresholdPromotesImmediately) {
+  TwoTierAdjacency adj;
+  adj.insert(1, 1, /*promote_threshold=*/0);
+  EXPECT_TRUE(adj.promoted());
+  EXPECT_EQ(adj.degree(), 1u);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,129 @@
+// DegAwareStore differential test vs a reference map-of-maps, plus
+// interface semantics (DESIGN.md invariant 6).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "storage/degaware_store.hpp"
+#include "storage/std_store.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(DegAwareStore, InsertReportsNewVertexAndEdge) {
+  DegAwareStore s;
+  auto r1 = s.insert_edge(1, 2, 5);
+  EXPECT_TRUE(r1.new_vertex);
+  EXPECT_TRUE(r1.new_edge);
+  auto r2 = s.insert_edge(1, 3, 5);
+  EXPECT_FALSE(r2.new_vertex);
+  EXPECT_TRUE(r2.new_edge);
+  auto r3 = s.insert_edge(1, 2, 7);
+  EXPECT_FALSE(r3.new_vertex);
+  EXPECT_FALSE(r3.new_edge);
+  EXPECT_EQ(s.edge_count(), 2u);
+  EXPECT_EQ(s.vertex_count(), 1u);
+  EXPECT_EQ(s.edge_weight(1, 2), 7u);
+}
+
+TEST(DegAwareStore, EraseMaintainsCounts) {
+  DegAwareStore s;
+  s.insert_edge(1, 2, 1);
+  s.insert_edge(1, 3, 1);
+  EXPECT_TRUE(s.erase_edge(1, 2));
+  EXPECT_FALSE(s.erase_edge(1, 2));
+  EXPECT_FALSE(s.erase_edge(9, 9));
+  EXPECT_EQ(s.edge_count(), 1u);
+  EXPECT_EQ(s.degree(1), 1u);
+  // Vertex record survives with zero edges.
+  s.erase_edge(1, 3);
+  EXPECT_TRUE(s.has_vertex(1));
+  EXPECT_EQ(s.degree(1), 0u);
+}
+
+TEST(DegAwareStore, InsertVertexWithoutEdges) {
+  DegAwareStore s;
+  EXPECT_TRUE(s.insert_vertex(42));
+  EXPECT_FALSE(s.insert_vertex(42));
+  EXPECT_TRUE(s.has_vertex(42));
+  EXPECT_EQ(s.degree(42), 0u);
+}
+
+TEST(DegAwareStore, DifferentialVsReference) {
+  StoreConfig cfg;
+  cfg.promote_threshold = 3;  // force both tiers into play
+  DegAwareStore s(cfg);
+  std::map<VertexId, std::map<VertexId, Weight>> ref;
+  Xoshiro256 rng(23);
+  std::size_t ref_edges = 0;
+
+  for (int op = 0; op < 50000; ++op) {
+    const VertexId u = rng.bounded(40);
+    const VertexId v = rng.bounded(40);
+    const Weight w = static_cast<Weight>(1 + rng.bounded(9));
+    if (rng.bounded(3) != 0) {
+      const bool fresh = ref[u].emplace(v, w).second;
+      if (!fresh) ref[u][v] = w;
+      ref_edges += fresh;
+      const auto res = s.insert_edge(u, v, w);
+      EXPECT_EQ(res.new_edge, fresh);
+    } else {
+      auto it = ref.find(u);
+      const bool existed = it != ref.end() && it->second.erase(v) != 0;
+      ref_edges -= existed;
+      EXPECT_EQ(s.erase_edge(u, v), existed);
+    }
+    ASSERT_EQ(s.edge_count(), ref_edges);
+  }
+
+  // Full content comparison.
+  for (const auto& [u, nbrs] : ref) {
+    ASSERT_EQ(s.degree(u), nbrs.size()) << "vertex " << u;
+    for (const auto& [v, w] : nbrs) {
+      ASSERT_TRUE(s.has_edge(u, v)) << u << "->" << v;
+      EXPECT_EQ(s.edge_weight(u, v), w);
+    }
+  }
+}
+
+TEST(DegAwareStore, ForEachVertexCoversAll) {
+  DegAwareStore s;
+  for (VertexId v = 0; v < 100; ++v) s.insert_edge(v, v + 1000, 1);
+  std::set<VertexId> seen;
+  s.for_each_vertex([&](VertexId v, TwoTierAdjacency& adj) {
+    EXPECT_TRUE(seen.insert(v).second);
+    EXPECT_EQ(adj.degree(), 1u);
+  });
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(StdStoreBaseline, MatchesDegAwareBehaviour) {
+  DegAwareStore a;
+  StdStore b;
+  Xoshiro256 rng(29);
+  for (int op = 0; op < 10000; ++op) {
+    const VertexId u = rng.bounded(30);
+    const VertexId v = rng.bounded(30);
+    if (rng.bounded(3) != 0) {
+      const auto ra = a.insert_edge(u, v, 1);
+      const auto rb = b.insert_edge(u, v, 1);
+      EXPECT_EQ(ra.new_edge, rb.new_edge);
+    } else {
+      EXPECT_EQ(a.erase_edge(u, v), b.erase_edge(u, v));
+    }
+  }
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.vertex_count(), b.vertex_count());
+}
+
+TEST(DegAwareStore, MemoryAccountingScalesWithContent) {
+  DegAwareStore s;
+  const std::size_t empty = s.memory_bytes();
+  for (VertexId v = 0; v < 1000; ++v) s.insert_edge(v % 37, v, 1);
+  EXPECT_GT(s.memory_bytes(), empty);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,222 @@
+// remo — command line front end.
+//
+//   remo generate --kind rmat --scale 16 --out graph.bin [--seed 1]
+//   remo stats    --graph graph.bin
+//   remo ingest   --graph graph.bin [--ranks 4] [--streams 4]
+//                 [--algo none|bfs|sssp|cc|st|degree] [--source V]
+//                 [--weights MAX] [--snapshot out.txt] [--safra]
+//
+// Files ending in .txt use the text edge format; everything else the
+// packed binary format (src u64, dst u64, weight u32).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "remo/remo.hpp"
+
+using namespace remo;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& name) const { return kv.count("--" + name) != 0; }
+  std::string str(const std::string& name, const std::string& dflt = "") const {
+    auto it = kv.find("--" + name);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& name, std::uint64_t dflt) const {
+    auto it = kv.find("--" + name);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc && argv[i + 1][0] != '-') {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";  // bare flag
+    }
+  }
+  return a;
+}
+
+bool is_text(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".txt") == 0;
+}
+
+EdgeList load(const std::string& path) {
+  return is_text(path) ? read_edges_text(path) : read_edges_binary(path);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  remo generate --kind rmat|er|ba --scale N --out FILE [--seed S]\n"
+               "  remo stats    --graph FILE\n"
+               "  remo ingest   --graph FILE [--ranks N] [--streams N]\n"
+               "                [--algo none|bfs|sssp|cc|st|degree] [--source V]\n"
+               "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n");
+  return 2;
+}
+
+int cmd_generate(const Args& a) {
+  const std::string kind = a.str("kind", "rmat");
+  const auto scale = static_cast<std::uint32_t>(a.num("scale", 16));
+  const std::uint64_t seed = a.num("seed", 1);
+  const std::string out = a.str("out");
+  if (out.empty()) return usage();
+
+  EdgeList edges;
+  if (kind == "rmat") {
+    RmatParams p;
+    p.scale = scale;
+    p.seed = seed;
+    edges = generate_rmat(p);
+  } else if (kind == "er") {
+    ErdosRenyiParams p;
+    p.num_vertices = std::uint64_t{1} << scale;
+    p.num_edges = p.num_vertices * 16;
+    p.seed = seed;
+    edges = generate_erdos_renyi(p);
+  } else if (kind == "ba") {
+    PrefAttachParams p;
+    p.num_vertices = std::uint64_t{1} << scale;
+    p.edges_per_vertex = 16;
+    p.seed = seed;
+    edges = generate_pref_attach(p);
+  } else {
+    return usage();
+  }
+
+  if (is_text(out))
+    write_edges_text(out, edges);
+  else
+    write_edges_binary(out, edges);
+  std::printf("wrote %s edges to %s\n", with_commas(edges.size()).c_str(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  const std::string path = a.str("graph");
+  if (path.empty()) return usage();
+  const EdgeList edges = load(path);
+  RobinHoodMap<VertexId, std::uint64_t> degree;
+  for (const Edge& e : edges) {
+    ++degree.get_or_insert(e.src);
+    ++degree.get_or_insert(e.dst);
+  }
+  std::uint64_t max_deg = 0;
+  degree.for_each([&](const VertexId&, std::uint64_t& d) {
+    if (d > max_deg) max_deg = d;
+  });
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(edges));
+  std::printf("edges (directed):    %s\n", with_commas(edges.size()).c_str());
+  std::printf("vertices:            %s\n", with_commas(degree.size()).c_str());
+  std::printf("max degree:          %s\n", with_commas(max_deg).c_str());
+  std::printf("connected components:%s\n",
+              with_commas(static_cc_count(g)).c_str());
+  return 0;
+}
+
+int cmd_ingest(const Args& a) {
+  const std::string path = a.str("graph");
+  if (path.empty()) return usage();
+  const EdgeList edges = load(path);
+
+  EngineConfig cfg;
+  cfg.num_ranks = static_cast<RankId>(a.num("ranks", 4));
+  if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
+  Engine engine(cfg);
+
+  const std::string algo = a.str("algo", "none");
+  const VertexId source = a.num("source", edges.empty() ? 0 : edges.front().src);
+  ProgramId prog_id = 0;
+  bool have_program = true;
+  if (algo == "bfs") {
+    auto [id, p] = engine.attach_make<DynamicBfs>(source);
+    prog_id = id;
+    engine.inject_init(id, source);
+  } else if (algo == "sssp") {
+    auto [id, p] = engine.attach_make<DynamicSssp>(source);
+    prog_id = id;
+    engine.inject_init(id, source);
+  } else if (algo == "cc") {
+    auto [id, p] = engine.attach_make<DynamicCc>();
+    prog_id = id;
+  } else if (algo == "st") {
+    auto [id, p] =
+        engine.attach_make<MultiStConnectivity>(std::vector<VertexId>{source});
+    prog_id = id;
+    inject_st_sources(engine, id, *p);
+  } else if (algo == "degree") {
+    auto [id, p] = engine.attach_make<DegreeTracker>();
+    prog_id = id;
+  } else if (algo == "none") {
+    have_program = false;
+  } else {
+    return usage();
+  }
+
+  StreamOptions opts;
+  opts.seed = a.num("seed", 7);
+  if (const std::uint64_t maxw = a.num("weights", 1); maxw > 1)
+    opts.max_weight = static_cast<Weight>(maxw);
+  const std::size_t n_streams = a.num("streams", cfg.num_ranks);
+  const StreamSet streams = make_streams(edges, n_streams, opts);
+
+  const IngestStats stats = engine.ingest(streams);
+  std::printf("ingested %s events in %.3f s — %s\n",
+              with_commas(stats.events).c_str(), stats.seconds,
+              remo::strfmt("%.2fM events/s", stats.events_per_second / 1e6).c_str());
+  std::printf("stored: %s vertices, %s directed arcs, %s resident\n",
+              with_commas(engine.total_stored_vertices()).c_str(),
+              with_commas(engine.total_stored_edges()).c_str(),
+              human_bytes(engine.store_memory_bytes()).c_str());
+
+  const MetricsSummary m = engine.metrics();
+  std::printf("messages: %s total, %s crossed ranks, %s algorithm callbacks\n",
+              with_commas(m.messages_sent).c_str(),
+              with_commas(m.remote_messages).c_str(),
+              with_commas(m.algorithm_events).c_str());
+
+  if (have_program) {
+    const Snapshot snap = engine.collect_quiescent(prog_id);
+    std::printf("algorithm '%s': %s vertices carry non-identity state\n",
+                algo.c_str(), with_commas(snap.size()).c_str());
+    const std::string snap_out = a.str("snapshot");
+    if (!snap_out.empty()) {
+      std::FILE* f = std::fopen(snap_out.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", snap_out.c_str());
+        return 1;
+      }
+      std::fprintf(f, "# vertex state (%s, source=%llu)\n", algo.c_str(),
+                   static_cast<unsigned long long>(source));
+      for (const auto& [v, s] : snap)
+        std::fprintf(f, "%llu %llu\n", static_cast<unsigned long long>(v),
+                     static_cast<unsigned long long>(s));
+      std::fclose(f);
+      std::printf("snapshot written to %s\n", snap_out.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "generate") return cmd_generate(a);
+  if (a.command == "stats") return cmd_stats(a);
+  if (a.command == "ingest") return cmd_ingest(a);
+  return usage();
+}
