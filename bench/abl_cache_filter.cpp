@@ -75,6 +75,7 @@ int main() {
 
   std::printf("%-8s %16s %16s %16s %16s %10s\n", "algo", "rate(off)", "rate(on)",
               "msgs(off)", "msgs(on)", "msg cut");
+  BenchReport report("abl_cache_filter", "neighbour-cache redundancy filter");
   for (const Algo& a : algos) {
     const Outcome off = run(data.edges, ranks, false, repeats, a.setup);
     const Outcome on = run(data.edges, ranks, true, repeats, a.setup);
@@ -83,6 +84,18 @@ int main() {
                 with_commas(on.messages).c_str(),
                 100.0 * (1.0 - static_cast<double>(on.messages) /
                                    static_cast<double>(off.messages)));
+    for (const bool filter : {false, true}) {
+      const Outcome& o = filter ? on : off;
+      Json row = Json::object();
+      row["dataset"] = data.name;
+      row["ranks"] = static_cast<std::uint64_t>(ranks);
+      row["query"] = a.name;
+      row["nbr_cache_filter"] = filter;
+      row["events_per_second"] = o.rate;
+      row["messages_sent"] = o.messages;
+      report.add_run(std::move(row));
+    }
   }
+  report.write();
   return 0;
 }

@@ -22,6 +22,8 @@ int main() {
 
   std::printf("%-12s %16s %16s %14s\n", "threshold", "insert", "lookup",
               "store bytes");
+  BenchReport report("abl_degree_threshold", "two-tier promotion threshold sweep");
+  const std::string dataset = strfmt("rmat-%u", p.scale);
   for (const std::uint32_t thresh : {0u, 2u, 4u, 8u, 16u, 64u, 1024u}) {
     std::vector<double> ins, look;
     std::size_t bytes = 0;
@@ -40,6 +42,14 @@ int main() {
     }
     std::printf("%-12u %16s %16s %14s\n", thresh, rate(mean(ins)).c_str(),
                 rate(mean(look)).c_str(), human_bytes(bytes).c_str());
+    Json row = Json::object();
+    row["dataset"] = dataset;
+    row["promote_threshold"] = thresh;
+    row["insert_edges_per_second"] = mean(ins);
+    row["lookup_edges_per_second"] = mean(look);
+    row["store_bytes"] = static_cast<std::uint64_t>(bytes);
+    report.add_run(std::move(row));
   }
+  report.write();
   return 0;
 }

@@ -29,6 +29,7 @@ int main() {
   std::printf("%-12s %14s %18s %18s %10s\n", "delete %", "#deletes", "repair_ms",
               "recompute_ms", "ratio");
 
+  BenchReport report("abl_deletes", "incremental repair vs full recompute");
   for (const int pct : {1, 5, 10, 25, 50}) {
     std::vector<double> repair_ms, recompute_ms;
     std::uint64_t n_deletes = 0;
@@ -62,6 +63,15 @@ int main() {
     std::printf("%-12d %14s %18.2f %18.2f %9.2fx\n", pct,
                 with_commas(n_deletes).c_str(), mean(repair_ms), mean(recompute_ms),
                 mean(recompute_ms) / mean(repair_ms));
+    Json row = Json::object();
+    row["dataset"] = "pref-attach";
+    row["ranks"] = static_cast<std::uint64_t>(ranks);
+    row["delete_pct"] = pct;
+    row["deletes"] = n_deletes;
+    row["repair_ms"] = mean(repair_ms);
+    row["recompute_ms"] = mean(recompute_ms);
+    report.add_run(std::move(row));
   }
+  report.write();
   return 0;
 }

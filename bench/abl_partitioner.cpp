@@ -86,10 +86,21 @@ int main() {
       {"hash (paper)", "strided", &strided, PartitionMode::kHash},
       {"modulo", "strided", &strided, PartitionMode::kModulo},
   };
+  BenchReport report("abl_partitioner", "vertex placement: hash vs modulo");
   for (const auto& row : rows) {
     const Outcome o = run(*row.edges, ranks, row.mode, repeats);
     std::printf("%-14s %-12s %16s %18.3f %18.3f\n", row.placement, row.ids,
                 rate(o.rate).c_str(), o.edge_imbalance, o.vertex_imbalance);
+    Json jr = Json::object();
+    jr["dataset"] = data.name;
+    jr["ranks"] = static_cast<std::uint64_t>(ranks);
+    jr["placement"] = row.mode == PartitionMode::kHash ? "hash" : "modulo";
+    jr["id_space"] = row.ids;
+    jr["events_per_second"] = o.rate;
+    jr["edge_imbalance"] = o.edge_imbalance;
+    jr["vertex_imbalance"] = o.vertex_imbalance;
+    report.add_run(std::move(jr));
   }
+  report.write();
   return 0;
 }

@@ -73,5 +73,23 @@ int main() {
               mean(q_lat), mean(q_tot), mean(q_tot) / mean(base));
   std::printf("%-28s %16.2f %18.3f %13.2fx\n", "versioned (Chandy-Lamport)",
               mean(v_lat), mean(v_tot), mean(v_tot) / mean(base));
+
+  BenchReport report("abl_snapshot", "snapshot strategy: quiescent vs versioned");
+  const std::string dataset = strfmt("rmat-%u", p.scale);
+  const auto strategy_row = [&](const char* strategy, double collect_ms,
+                                double total_s) {
+    Json row = Json::object();
+    row["dataset"] = dataset;
+    row["ranks"] = static_cast<std::uint64_t>(ranks);
+    row["strategy"] = strategy;
+    if (collect_ms >= 0) row["collect_ms"] = collect_ms;
+    row["ingest_total_seconds"] = total_s;
+    row["slowdown"] = total_s / mean(base);
+    return row;
+  };
+  report.add_run(strategy_row("none", -1.0, mean(base)));
+  report.add_run(strategy_row("quiescent", mean(q_lat), mean(q_tot)));
+  report.add_run(strategy_row("versioned", mean(v_lat), mean(v_tot)));
+  report.write();
   return 0;
 }

@@ -61,5 +61,19 @@ int main() {
               rate(std_scan).c_str());
   std::printf("\nspeedup: insert %.2fx, scan %.2fx\n", da_ins / std_ins,
               da_scan / std_scan);
+
+  BenchReport report("abl_storage", "storage backend: DegAwareStore vs std");
+  const std::string dataset = strfmt("rmat-%u", p.scale);
+  const auto backend_row = [&](const char* backend, double ins, double scan) {
+    Json row = Json::object();
+    row["dataset"] = dataset;
+    row["backend"] = backend;
+    row["insert_edges_per_second"] = ins;
+    row["scan_edges_per_second"] = scan;
+    return row;
+  };
+  report.add_run(backend_row("degaware", da_ins, da_scan));
+  report.add_run(backend_row("std_unordered_map", std_ins, std_scan));
+  report.write();
   return 0;
 }

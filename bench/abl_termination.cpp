@@ -24,10 +24,13 @@ int main() {
                       with_commas(edges.size()).c_str(), repeats));
 
   std::printf("%-10s %18s %18s %12s\n", "ranks", "counting", "safra", "safra/cnt");
+  BenchReport report("abl_termination", "termination detection: counting vs Safra");
+  const std::string dataset = strfmt("rmat-%u", p.scale);
   for (const RankId ranks : ranks_list) {
     double rates[2];
     for (int mode = 0; mode < 2; ++mode) {
       std::vector<double> rs;
+      std::uint64_t events = 0;
       for (int rep = 0; rep < repeats; ++rep) {
         EngineConfig cfg;
         cfg.num_ranks = ranks;
@@ -38,12 +41,20 @@ int main() {
         engine.inject_init(id, source);
         const StreamSet streams =
             make_streams(edges, ranks, StreamOptions{.seed = 7});
-        rs.push_back(engine.ingest(streams).events_per_second);
+        const IngestStats st = engine.ingest(streams);
+        rs.push_back(st.events_per_second);
+        events = st.events;
       }
       rates[mode] = mean(rs);
+      Json row = run_row(dataset, ranks, events,
+                         rates[mode] > 0 ? static_cast<double>(events) / rates[mode] : 0.0,
+                         rates[mode]);
+      row["termination"] = mode == 0 ? "counting" : "safra";
+      report.add_run(std::move(row));
     }
     std::printf("%-10u %18s %18s %11.2fx\n", ranks, rate(rates[0]).c_str(),
                 rate(rates[1]).c_str(), rates[1] / rates[0]);
   }
+  report.write();
   return 0;
 }

@@ -57,4 +57,55 @@ std::uint64_t distinct_vertices(const EdgeList& edges) {
   return seen.size();
 }
 
+BenchReport::BenchReport(std::string name, std::string title)
+    : name_(std::move(name)), doc_(Json::object()) {
+  doc_["schema"] = "remo-bench-1";
+  doc_["name"] = name_;
+  doc_["title"] = std::move(title);
+  doc_["scale_shift"] = bench_scale_from_env().scale_shift;
+  doc_["repeats"] = repeats_from_env();
+  doc_["runs"] = Json::array();
+}
+
+std::string BenchReport::path() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("REMO_BENCH_OUT_DIR"); env && *env) dir = env;
+  return dir + "/BENCH_" + name_ + ".json";
+}
+
+bool BenchReport::write() const {
+  const std::string out = path();
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot open %s\n", out.c_str());
+    return false;
+  }
+  const std::string text = doc_.dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (ok) std::printf("\nmachine-readable results: %s\n", out.c_str());
+  return ok;
+}
+
+Json run_row(const std::string& dataset, RankId ranks, std::uint64_t events,
+             double seconds, double events_per_second) {
+  Json row = Json::object();
+  row["dataset"] = dataset;
+  row["ranks"] = static_cast<std::uint64_t>(ranks);
+  row["events"] = events;
+  row["seconds"] = seconds;
+  row["events_per_second"] = events_per_second;
+  return row;
+}
+
+Json engine_obs_json(const Engine& engine) {
+  const obs::MetricsSnapshot snap = engine.metrics_snapshot();
+  const Json full = snap.to_json(/*include_per_rank=*/false);
+  Json out = Json::object();
+  for (const char* key : {"counters", "update_latency", "phases"})
+    if (const Json* sec = full.find(key)) out[key] = *sec;
+  return out;
+}
+
 }  // namespace remo::bench

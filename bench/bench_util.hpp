@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "remo/remo.hpp"
@@ -16,6 +17,38 @@ namespace remo::bench {
 
 std::vector<RankId> ranks_from_env(std::vector<RankId> fallback = {1, 2, 4});
 int repeats_from_env(int fallback = 3);
+
+/// Machine-readable harness output (docs/OBSERVABILITY.md, "BENCH_*.json").
+/// Each harness builds one report and writes `BENCH_<name>.json` into
+/// $REMO_BENCH_OUT_DIR (default: the working directory) alongside its
+/// human-readable stdout table.
+class BenchReport {
+ public:
+  /// `name` is the file stem ("fig3" -> BENCH_fig3.json).
+  BenchReport(std::string name, std::string title);
+
+  Json& doc() { return doc_; }
+  void set(const std::string& key, Json value) { doc_[key] = std::move(value); }
+  void add_run(Json row) { doc_["runs"].push_back(std::move(row)); }
+
+  std::string path() const;
+
+  /// Serialise to BENCH_<name>.json and report the path on stdout.
+  bool write() const;
+
+ private:
+  std::string name_;
+  Json doc_;
+};
+
+/// Standard run row: dataset / ranks / throughput triple every harness
+/// emits. Harnesses append extra fields via operator[].
+Json run_row(const std::string& dataset, RankId ranks, std::uint64_t events,
+             double seconds, double events_per_second);
+
+/// Latency percentiles + message counters of a (quiescent) engine in the
+/// stats-JSON shape — attach as a run row's "latency"/"messages"/"phases".
+Json engine_obs_json(const Engine& engine);
 
 /// Mean of a sample vector.
 double mean(const std::vector<double>& xs);
@@ -36,6 +69,9 @@ struct SaturationResult {
   double events_per_second = 0;
   double seconds = 0;
   std::uint64_t events = 0;
+  /// Observability sections (latency / messages / phases) captured from the
+  /// final repeat's engine, ready to merge into a BenchReport run row.
+  Json obs = Json::object();
 };
 
 template <typename Setup>
@@ -55,6 +91,7 @@ SaturationResult measure_saturation(const EdgeList& edges, RankId ranks, int rep
     rates.push_back(stats.events_per_second);
     secs.push_back(stats.seconds);
     out.events = stats.events;
+    if (rep == repeats - 1) out.obs = engine_obs_json(engine);
   }
   out.events_per_second = mean(rates);
   out.seconds = mean(secs);

@@ -45,6 +45,8 @@ int main() {
     }
 
   std::vector<double> a_con, a_alg, b_con, b_alg, c_tot;
+  std::uint64_t stream_events = 0;
+  Json b_obs = Json::object(), c_obs = Json::object();
   for (int rep = 0; rep < repeats; ++rep) {
     {  // (a) static CSR + static BFS
       Timer t;
@@ -58,13 +60,15 @@ int main() {
     {  // (b) dynamic construction, then static BFS over the dynamic store
       Engine engine(EngineConfig{.num_ranks = ranks});
       Timer t;
-      engine.ingest(make_streams(data.edges, ranks,
-                                 StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)}));
+      const IngestStats st = engine.ingest(make_streams(
+          data.edges, ranks, StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)}));
       b_con.push_back(t.seconds());
+      stream_events = st.events;
       t.reset();
       const auto levels = static_bfs_on_store(engine, source);
       b_alg.push_back(t.seconds());
       (void)levels;
+      if (rep == repeats - 1) b_obs = engine_obs_json(engine);
     }
     {  // (c) dynamic construction overlapped with dynamic BFS
       Engine engine(EngineConfig{.num_ranks = ranks});
@@ -74,6 +78,7 @@ int main() {
       engine.ingest(make_streams(data.edges, ranks,
                                  StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)}));
       c_tot.push_back(t.seconds());
+      if (rep == repeats - 1) c_obs = engine_obs_json(engine);
     }
   }
 
@@ -90,5 +95,27 @@ int main() {
   std::printf("\nkey ratios: dyn/static construction = %.2fx, overlap overhead "
               "(c vs b-construct) = %.2fx\n",
               mean(b_con) / mean(a_con), mean(c_tot) / mean(b_con));
+
+  BenchReport report("fig3", "static vs dynamic strategies");
+  const auto strategy_row = [&](const char* strategy, double construct_s,
+                                double algorithm_s, const Json& obs) {
+    const double total = construct_s + algorithm_s;
+    Json row = run_row(data.name, ranks, stream_events, total,
+                       total > 0 ? static_cast<double>(stream_events) / total : 0.0);
+    row["strategy"] = strategy;
+    row["construct_seconds"] = construct_s;
+    row["algorithm_seconds"] = algorithm_s;
+    for (const auto& [key, value] : obs.members()) row[key] = value;
+    return row;
+  };
+  report.add_run(strategy_row("static_csr_static_bfs", mean(a_con), mean(a_alg),
+                              Json::object()));
+  report.add_run(strategy_row("dynamic_construct_static_bfs", mean(b_con),
+                              mean(b_alg), b_obs));
+  report.add_run(strategy_row("dynamic_construct_dynamic_bfs", mean(c_tot), 0.0,
+                              c_obs));
+  report.set("dyn_over_static_construction", mean(b_con) / mean(a_con));
+  report.set("overlap_overhead", mean(c_tot) / mean(b_con));
+  report.write();
   return 0;
 }

@@ -45,6 +45,16 @@ int main() {
   std::printf("%-18s %6s %14s %14s %14s %14s %14s\n", "dataset", "ranks", "CON",
               "BFS", "SSSP", "CC", "ST");
 
+  BenchReport report("fig5", "per-algorithm event rates on real-graph stand-ins");
+  const auto record = [&](const std::string& dataset, RankId ranks,
+                          const char* query, const SaturationResult& res) {
+    Json row = run_row(dataset, ranks, res.events, res.seconds,
+                       res.events_per_second);
+    row["query"] = query;
+    for (const auto& [key, value] : res.obs.members()) row[key] = value;
+    report.add_run(std::move(row));
+  };
+
   for (const Dataset& d : datasets) {
     const VertexId source = source_in_largest_cc(d.edges);
     for (const RankId ranks : ranks_list) {
@@ -73,7 +83,13 @@ int main() {
                   rate(sssp.events_per_second).c_str(),
                   rate(cc.events_per_second).c_str(),
                   rate(st.events_per_second).c_str());
+      record(d.name, ranks, "con", con);
+      record(d.name, ranks, "bfs", bfs);
+      record(d.name, ranks, "sssp", sssp);
+      record(d.name, ranks, "cc", cc);
+      record(d.name, ranks, "st", st);
     }
   }
+  report.write();
   return 0;
 }

@@ -26,6 +26,8 @@ int main() {
   for (const RankId r : ranks_list) std::printf(" %10u rk", r);
   std::printf("\n");
 
+  BenchReport report("fig6", "RMAT scaling, BFS maintained during construction");
+
   for (std::uint32_t s = base; s <= base + 2; ++s) {
     RmatParams p;
     p.scale = s;
@@ -40,11 +42,16 @@ int main() {
         e.inject_init(id, source);
       });
       std::printf(" %12s", rate(res.events_per_second).c_str());
+      Json row = run_row(strfmt("rmat-%u", s), ranks, res.events, res.seconds,
+                         res.events_per_second);
+      for (const auto& [key, value] : res.obs.members()) row[key] = value;
+      report.add_run(std::move(row));
     }
     std::printf("\n");
   }
   std::printf("\nweak scaling read: fix a column, go down rows (graph 4x bigger "
               "per row) — rates should stay flat.\nstrong scaling read: fix a "
               "row, go right.\n");
+  report.write();
   return 0;
 }

@@ -33,6 +33,7 @@ int main() {
   std::sort(by_degree.rbegin(), by_degree.rend());
 
   const int source_counts[] = {0, 1, 2, 4, 8, 16, 32, 64};
+  BenchReport report("fig7", "Multi S-T source-count scaling");
 
   // Two engine configurations: the paper's raw exchange (no redundancy
   // filter — Algorithm 7 exactly as written, whose messaging grows with
@@ -52,6 +53,8 @@ int main() {
       std::printf("%-10d", n_sources);
       for (const RankId ranks : ranks_list) {
         std::vector<double> rates_acc;
+        Json obs = Json::object();
+        std::uint64_t events = 0;
         for (int rep = 0; rep < repeats; ++rep) {
           EngineConfig cfg;
           cfg.num_ranks = ranks;
@@ -63,12 +66,23 @@ int main() {
           }
           const StreamSet streams = make_streams(
               data.edges, ranks, StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)});
-          rates_acc.push_back(engine.ingest(streams).events_per_second);
+          const IngestStats st = engine.ingest(streams);
+          rates_acc.push_back(st.events_per_second);
+          events = st.events;
+          if (rep == repeats - 1) obs = engine_obs_json(engine);
         }
         std::printf(" %12s", rate(mean(rates_acc)).c_str());
+        const double eps = mean(rates_acc);
+        Json row = run_row(data.name, ranks, events,
+                           eps > 0 ? static_cast<double>(events) / eps : 0.0, eps);
+        row["sources"] = n_sources;
+        row["nbr_cache_filter"] = filter;
+        for (const auto& [key, value] : obs.members()) row[key] = value;
+        report.add_run(std::move(row));
       }
       std::printf("\n");
     }
   }
+  report.write();
   return 0;
 }

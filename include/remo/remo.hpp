@@ -7,10 +7,18 @@
 // Common utilities
 #include "common/bitset.hpp"
 #include "common/hash.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/strfmt.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+
+// Observability (histograms, phase timers, chrome-trace export)
+#include "obs/histogram.hpp"
+#include "obs/obs_config.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 
 // Dynamic graph storage (DegAwareRHH-style)
 #include "storage/adjacency.hpp"

@@ -1,0 +1,108 @@
+// Minimal JSON value tree: build, serialise, parse.
+//
+// Backs the observability layer (stats snapshots, chrome-trace metadata,
+// BENCH_*.json reports) and the tests that validate those artefacts. Object
+// keys keep insertion order so emitted files diff cleanly across runs.
+// Integers are stored exactly (64-bit) rather than forced through double,
+// so event counters survive a round trip.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace remo {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(long v) : type_(Type::kInt), int_(v) {}
+  Json(long long v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kUint), uint_(v) {}
+  Json(unsigned long v) : type_(Type::kUint), uint_(v) {}
+  Json(unsigned long long v) : type_(Type::kUint), uint_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kUint || type_ == Type::kDouble;
+  }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const { return str_; }
+
+  // --- Array access ---------------------------------------------------------
+  std::size_t size() const noexcept {
+    return is_object() ? members_.size() : items_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+  void push_back(Json v) {
+    type_ = Type::kArray;
+    items_.push_back(std::move(v));
+  }
+  const Json& at(std::size_t i) const { return items_[i]; }
+  const std::vector<Json>& items() const { return items_; }
+
+  // --- Object access --------------------------------------------------------
+  /// Insert-or-get a member; converts a null value into an object.
+  Json& operator[](const std::string& key);
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  // --- Serialisation --------------------------------------------------------
+  /// Compact when indent < 0; pretty-printed otherwise.
+  std::string dump(int indent = -1) const;
+
+  /// Strict-enough parser for the artefacts this repo emits (and for
+  /// validating them in tests). On failure returns a null value and, when
+  /// `error` is given, a "line:col: message" description.
+  static Json parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace remo

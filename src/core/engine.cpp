@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/strfmt.hpp"
 #include "core/engine_detail.hpp"
 
 namespace remo {
@@ -144,6 +145,9 @@ Engine::Engine(EngineConfig cfg)
       comm_(cfg.num_ranks, cfg.batch_size),
       safra_(cfg.num_ranks) {
   REMO_CHECK(cfg_.num_ranks > 0);
+  trace_base_ns_ = obs::monotonic_ns();
+  const bool tracing = cfg_.obs.trace && obs::kTraceCompiledIn;
+  if (tracing) main_trace_ = std::make_unique<obs::TraceBuffer>(cfg_.obs.trace_capacity);
   ranks_.reserve(cfg_.num_ranks);
   for (RankId r = 0; r < cfg_.num_ranks; ++r) {
     auto rt = std::make_unique<detail::RankRuntime>(cfg_.store);
@@ -152,6 +156,11 @@ Engine::Engine(EngineConfig cfg)
     rt->safra = &safra_;
     rt->part = &part_;
     rt->rank = r;
+    rt->obs_latency = cfg_.obs.latency;
+    rt->obs_phases = cfg_.obs.phase_timers;
+    rt->obs_sample_mask =
+        (std::uint64_t{1} << (cfg_.obs.latency_sample_shift & 63)) - 1;
+    if (tracing) rt->trace = std::make_unique<obs::TraceBuffer>(cfg_.obs.trace_capacity);
     ranks_.push_back(std::move(rt));
   }
   threads_.reserve(cfg_.num_ranks);
@@ -319,17 +328,22 @@ StateWord Engine::state_of(ProgramId p, VertexId v) const {
   return c ? *c : programs_[p]->identity();
 }
 
-Snapshot Engine::harvest(ProgramId p) {
+void Engine::broadcast_control_and_wait(ControlOp op, ProgramId p) {
   control_acks_.store(0, std::memory_order_release);
+  main_control_sent_.fetch_add(cfg_.num_ranks, std::memory_order_relaxed);
   for (RankId r = 0; r < cfg_.num_ranks; ++r) {
     Visitor vis{};
     vis.kind = VisitKind::kControl;
-    vis.other = static_cast<std::uint64_t>(ControlOp::kHarvest);
+    vis.other = static_cast<std::uint64_t>(op);
     vis.algo = p;
     comm_.mailbox(r).push_one(vis);
   }
   while (control_acks_.load(std::memory_order_acquire) < cfg_.num_ranks)
     std::this_thread::sleep_for(kPollInterval);
+}
+
+Snapshot Engine::harvest(ProgramId p) {
+  broadcast_control_and_wait(ControlOp::kHarvest, p);
 
   std::vector<Snapshot::Entry> entries;
   for (auto& rt : ranks_) {
@@ -343,11 +357,15 @@ Snapshot Engine::harvest(ProgramId p) {
 Snapshot Engine::collect_quiescent(ProgramId p) {
   REMO_CHECK(p < programs_.size());
   std::lock_guard guard(op_mutex_);
+  const std::uint64_t t0 = main_trace_ ? obs_now() : 0;
   const bool was_paused = streams_paused_.load(std::memory_order_acquire);
   pause_streams();
   await_in_flight_zero();
   Snapshot snap = harvest(p);
   if (!was_paused) resume_streams();
+  if (main_trace_)
+    main_trace_->emit("collect_quiescent", t0, obs_now() - t0, "vertices",
+                      snap.size());
   return snap;
 }
 
@@ -370,6 +388,7 @@ Snapshot Engine::collect_aux_quiescent(ProgramId p) {
 Snapshot Engine::collect_versioned(ProgramId p) {
   REMO_CHECK(p < programs_.size());
   std::lock_guard guard(op_mutex_);
+  const std::uint64_t t0 = main_trace_ ? obs_now() : 0;
 
   versioned_active_.store(true, std::memory_order_release);
   const std::uint16_t old_epoch = epoch_.fetch_add(1, std::memory_order_acq_rel);
@@ -386,12 +405,16 @@ Snapshot Engine::collect_versioned(ProgramId p) {
     }
   }
   while (comm_.in_flight(old_epoch & 1) != 0) std::this_thread::sleep_for(kPollInterval);
+  if (main_trace_) main_trace_->emit("epoch_drain", t0, obs_now() - t0);
 
   // The cut is final: S_prev (or the shared state for unsplit vertices) is
   // the global algorithm state at the discretisation point, while new-epoch
   // ingestion continues untouched.
   Snapshot snap = harvest(p);
   versioned_active_.store(false, std::memory_order_release);
+  if (main_trace_)
+    main_trace_->emit("collect_versioned", t0, obs_now() - t0, "vertices",
+                      snap.size());
   return snap;
 }
 
@@ -442,39 +465,23 @@ void Engine::repair(ProgramId p) {
   REMO_CHECK_MSG(programs_[p]->supports_deletes(),
                  "repair() on a program without delete support");
   std::lock_guard guard(op_mutex_);
+  const std::uint64_t t0 = main_trace_ ? obs_now() : 0;
   const bool was_paused = streams_paused_.load(std::memory_order_acquire);
   pause_streams();
   await_in_flight_zero();
 
   // Phase A: invalidation wave from every dirty anchor (asynchronous and
   // concurrent across ranks; quiescence ends the phase).
-  control_acks_.store(0, std::memory_order_release);
-  for (RankId r = 0; r < cfg_.num_ranks; ++r) {
-    Visitor vis{};
-    vis.kind = VisitKind::kControl;
-    vis.other = static_cast<std::uint64_t>(ControlOp::kRepairAnchors);
-    vis.algo = p;
-    comm_.mailbox(r).push_one(vis);
-  }
-  while (control_acks_.load(std::memory_order_acquire) < cfg_.num_ranks)
-    std::this_thread::sleep_for(kPollInterval);
+  broadcast_control_and_wait(ControlOp::kRepairAnchors, p);
   await_in_flight_zero();
 
   // Phase B: every invalidated vertex probes its neighbourhood; the normal
   // monotone machinery then reconverges.
-  control_acks_.store(0, std::memory_order_release);
-  for (RankId r = 0; r < cfg_.num_ranks; ++r) {
-    Visitor vis{};
-    vis.kind = VisitKind::kControl;
-    vis.other = static_cast<std::uint64_t>(ControlOp::kRepairProbes);
-    vis.algo = p;
-    comm_.mailbox(r).push_one(vis);
-  }
-  while (control_acks_.load(std::memory_order_acquire) < cfg_.num_ranks)
-    std::this_thread::sleep_for(kPollInterval);
+  broadcast_control_and_wait(ControlOp::kRepairProbes, p);
   await_in_flight_zero();
 
   if (!was_paused) resume_streams();
+  if (main_trace_) main_trace_->emit("repair", t0, obs_now() - t0);
 }
 
 void Engine::repair_all() {
@@ -508,7 +515,45 @@ void Engine::reset_program(ProgramId p) {
 // ---------------------------------------------------------------------------
 
 MetricsSummary Engine::metrics() const {
-  return MetricsSummary::aggregate(rank_metrics());
+  MetricsSummary s = MetricsSummary::aggregate(rank_metrics());
+  const std::uint64_t main = main_control_sent_.load(std::memory_order_relaxed);
+  s.messages_sent += main;
+  s.control_messages += main;
+  return s;
+}
+
+obs::MetricsSnapshot Engine::metrics_snapshot() const {
+  obs::MetricsSnapshot s;
+  s.per_rank.reserve(ranks_.size());
+  for (const auto& rt : ranks_) {
+    obs::RankObs ro;
+    ro.counters = rt->metrics;
+    ro.update_latency_ns = rt->update_latency.snapshot();
+    ro.phases = rt->phases.snapshot();
+    s.update_latency_ns.merge(ro.update_latency_ns);
+    s.phases.merge(ro.phases);
+    s.per_rank.push_back(std::move(ro));
+  }
+  s.counters = metrics();  // includes the main thread's control sends
+  return s;
+}
+
+bool Engine::tracing_enabled() const noexcept { return main_trace_ != nullptr; }
+
+std::uint64_t Engine::obs_now() const noexcept {
+  return obs::monotonic_ns() - trace_base_ns_;
+}
+
+bool Engine::write_trace(const std::string& path) const {
+  if (!tracing_enabled()) return false;
+  std::vector<obs::TraceTrack> tracks;
+  tracks.reserve(ranks_.size() + 1);
+  for (RankId r = 0; r < cfg_.num_ranks; ++r)
+    tracks.push_back(obs::TraceTrack{strfmt("rank %u", r), r,
+                                     ranks_[r]->trace->events()});
+  tracks.push_back(
+      obs::TraceTrack{"main", cfg_.num_ranks, main_trace_->events()});
+  return obs::write_chrome_trace(path, "remo engine", tracks);
 }
 
 std::vector<RankMetrics> Engine::rank_metrics() const {

@@ -29,6 +29,8 @@
 #include "core/snapshot.hpp"
 #include "core/vertex_program.hpp"
 #include "gen/stream.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/partitioner.hpp"
@@ -162,6 +164,22 @@ class Engine {
   MetricsSummary metrics() const;
   std::vector<RankMetrics> rank_metrics() const;
 
+  /// Full observability snapshot: counters, merged per-update latency
+  /// histogram (p50/p90/p99/p999), per-phase wall-clock accounting — per
+  /// rank and aggregated. Readable at any time (relaxed-atomic cells);
+  /// exact at quiescence. See docs/OBSERVABILITY.md.
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// True when chrome-trace capture is active (config flag set and tracing
+  /// compiled in).
+  bool tracing_enabled() const noexcept;
+
+  /// Export the captured trace as chrome://tracing JSON — one track per
+  /// rank plus one for the main thread's control operations. Call at
+  /// quiescence (the ring buffers are single-writer). Returns false when
+  /// tracing is disabled or the file cannot be written.
+  bool write_trace(const std::string& path) const;
+
   /// Topology store of one rank (requires quiescence for consistent reads).
   const DegAwareStore& store(RankId r) const;
 
@@ -200,7 +218,13 @@ class Engine {
   void do_repair_anchors(detail::RankRuntime& rt, ProgramId p);
   void do_repair_probes(detail::RankRuntime& rt, ProgramId p);
   void await_in_flight_zero();
+  /// Push one control visitor per rank from the main thread and block
+  /// until every rank has acknowledged via control_acks_.
+  void broadcast_control_and_wait(ControlOp op, ProgramId p);
   Snapshot harvest(ProgramId p);
+
+  /// Engine-relative monotonic nanoseconds (trace timestamp base).
+  std::uint64_t obs_now() const noexcept;
 
   EngineConfig cfg_;
   Partitioner part_;
@@ -222,12 +246,21 @@ class Engine {
   // Acknowledgement counters for control fan-outs (harvest / repair).
   std::atomic<std::uint32_t> control_acks_{0};
 
+  // Control visitors the *main thread* pushed (harvest / repair fan-outs).
+  // Ranks count their own sends in rank-private metrics; this cell is the
+  // main thread's share, folded into the merged counters at snapshot time.
+  std::atomic<std::uint64_t> main_control_sent_{0};
+
   // Serialises collect/repair/ingest phase transitions.
   mutable std::mutex op_mutex_;
 
   // Current ingestion run bookkeeping (main thread only).
   std::chrono::steady_clock::time_point ingest_start_{};
   std::uint64_t ingest_events_ = 0;
+
+  // Observability: trace timestamp origin + the main thread's own track.
+  std::uint64_t trace_base_ns_ = 0;
+  std::unique_ptr<obs::TraceBuffer> main_trace_;
 
   std::uint64_t next_trigger_id_ = 1;
 };

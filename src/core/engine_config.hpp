@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/types.hpp"
+#include "obs/obs_config.hpp"
 #include "runtime/partitioner.hpp"
 #include "storage/degaware_store.hpp"
 
@@ -49,6 +50,10 @@ struct EngineConfig {
 
   /// Dynamic graph store tuning.
   StoreConfig store{};
+
+  /// Observability: latency histograms, phase timers, chrome-trace capture
+  /// (docs/OBSERVABILITY.md).
+  obs::ObsConfig obs{};
 };
 
 }  // namespace remo

@@ -7,10 +7,15 @@
 #include <mutex>
 #include <vector>
 
+#include <memory>
+
 #include "common/types.hpp"
 #include "core/query.hpp"
 #include "core/snapshot.hpp"
 #include "gen/stream.hpp"
+#include "obs/histogram.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/partitioner.hpp"
@@ -57,6 +62,20 @@ struct RankRuntime {
   std::vector<ProgramRank> progs;
   RankMetrics metrics;
 
+  // Observability (src/obs). Histogram/timers are single-writer (this
+  // rank's thread) with relaxed-atomic cells so metrics_snapshot() can read
+  // concurrently; the trace ring must only be exported at quiescence. The
+  // cached config bools keep the hot path at one branch when a facility is
+  // off.
+  obs::LatencyHistogram update_latency;
+  obs::PhaseTimers phases;
+  std::unique_ptr<obs::TraceBuffer> trace;  // null unless tracing enabled
+  bool obs_latency = false;
+  bool obs_phases = false;
+  std::uint64_t obs_sample_mask = 0;  // record every (mask+1)-th topo event
+  std::uint64_t obs_topo_seen = 0;
+  std::uint64_t obs_control_ns = 0;  // scratch: snapshot-drain time in batch
+
   // Ingestion stream assignment. A rank may own several concurrent streams
   // (stream i of a StreamSet goes to rank i mod P); it pulls them
   // round-robin, preserving each stream's internal FIFO order. `streams`
@@ -95,7 +114,10 @@ struct RankRuntime {
   void send(const Visitor& v) {
     const RankId to = part->owner(v.target);
     ++metrics.messages_sent;
-    if (to != rank) ++metrics.remote_messages;
+    if (to != rank)
+      ++metrics.remote_messages;
+    else
+      ++metrics.local_messages;
     comm->send(rank, to, v);
     if (v.kind != VisitKind::kControl) safra->on_basic_send(rank);
   }

@@ -209,6 +209,8 @@ void Engine::process_visitor(detail::RankRuntime& rt, const Visitor& v) {
 // ---------------------------------------------------------------------------
 
 void Engine::do_harvest(detail::RankRuntime& rt, ProgramId p) {
+  const bool obs_on = rt.obs_phases || rt.trace;
+  const std::uint64_t t0 = obs_on ? obs_now() : 0;
   const StateWord identity = programs_[p]->identity();
   detail::ProgramRank& pr = rt.progs[p];
   {
@@ -223,10 +225,17 @@ void Engine::do_harvest(detail::RankRuntime& rt, ProgramId p) {
   // Retire every program's S_prev: the epoch is over for the whole engine,
   // and stale splits would poison the next collection.
   for (auto& each : rt.progs) each.prev.clear();
+  if (obs_on) {
+    const std::uint64_t dt = obs_now() - t0;
+    rt.obs_control_ns += dt;
+    if (rt.trace) rt.trace->emit("harvest", t0, dt, "vertices", rt.harvest_out.size());
+  }
   control_acks_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Engine::do_repair_anchors(detail::RankRuntime& rt, ProgramId p) {
+  const bool obs_on = rt.obs_phases || rt.trace;
+  const std::uint64_t t0 = obs_on ? obs_now() : 0;
   detail::ProgramRank& pr = rt.progs[p];
   std::vector<VertexId> anchors;
   anchors.swap(pr.dirty);
@@ -238,10 +247,17 @@ void Engine::do_repair_anchors(detail::RankRuntime& rt, ProgramId p) {
     programs_[p]->on_repair_anchor(ctx);
   }
   comm_.flush(rt.rank);
+  if (obs_on) {
+    const std::uint64_t dt = obs_now() - t0;
+    rt.obs_control_ns += dt;
+    if (rt.trace) rt.trace->emit("repair_anchors", t0, dt, "anchors", anchors.size());
+  }
   control_acks_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Engine::do_repair_probes(detail::RankRuntime& rt, ProgramId p) {
+  const bool obs_on = rt.obs_phases || rt.trace;
+  const std::uint64_t t0 = obs_on ? obs_now() : 0;
   detail::ProgramRank& pr = rt.progs[p];
   std::vector<VertexId> casualties;
   casualties.swap(pr.invalidated);
@@ -254,11 +270,20 @@ void Engine::do_repair_probes(detail::RankRuntime& rt, ProgramId p) {
     ctx.send_probe_all_nbrs();
   }
   comm_.flush(rt.rank);
+  if (obs_on) {
+    const std::uint64_t dt = obs_now() - t0;
+    rt.obs_control_ns += dt;
+    if (rt.trace)
+      rt.trace->emit("repair_probes", t0, dt, "casualties", casualties.size());
+  }
   control_acks_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Engine::handle_control(detail::RankRuntime& rt, const Visitor& v) {
-  ++rt.metrics.control_messages;
+  // Control traffic is counted at the *send* site (send_control for
+  // rank-originated tokens, broadcast_control for the main thread), never
+  // on receipt — counting both sides would double-book every message and
+  // break `local + remote + control == messages_sent`.
   switch (static_cast<ControlOp>(v.other)) {
     case ControlOp::kSafraToken:
       // v.target carries the probe generation; stale tokens die here.
@@ -367,6 +392,25 @@ void Engine::rank_main(RankId r) {
   std::vector<Visitor> batch;
   Xoshiro256 chaos_rng(0xC4A05ULL * (r + 1));
 
+  // Observability switches, hoisted so the hot path pays one branch each.
+  obs::TraceBuffer* const trace = rt.trace.get();
+  const bool obs_time = rt.obs_phases || trace != nullptr;
+  const bool obs_latency = rt.obs_latency;
+
+  // Apply one visitor; topology events (the stream's unit of work) are
+  // sampled into the per-update latency histogram.
+  const auto process_one = [&](const Visitor& v) {
+    if (obs_latency &&
+        (v.kind == VisitKind::kAdd || v.kind == VisitKind::kDelete) &&
+        (rt.obs_topo_seen++ & rt.obs_sample_mask) == 0) {
+      const std::uint64_t t0 = obs::monotonic_ns();
+      process_visitor(rt, v);
+      rt.update_latency.record(obs::monotonic_ns() - t0);
+      return;
+    }
+    process_visitor(rt, v);
+  };
+
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (cfg_.chaos_delay_us != 0) {
       // Chaos mode: random per-iteration delays widen the interleaving
@@ -382,22 +426,35 @@ void Engine::rank_main(RankId r) {
 
     absorb_pending_triggers(rt);
 
+    // Each loop iteration is attributed wholly to one phase: propagate
+    // (mailbox drain), ingest (stream pull), or quiesce (passive), with
+    // harvest/repair control work inside a drain re-attributed to
+    // snapshot-drain via obs_control_ns.
+    const std::uint64_t iter_t0 = obs_time ? obs_now() : 0;
     bool did_work = false;
 
-    // 1) Drain the mailbox: algorithm events take priority over new
-    //    topology pulls (Section V-C's prioritisation).
-    if (comm_.mailbox(r).drain(batch)) {
+    // 1) Drain the mailbox + loop-back queue: algorithm events take
+    //    priority over new topology pulls (Section V-C's prioritisation).
+    if (comm_.drain(r, batch)) {
       did_work = true;
+      rt.obs_control_ns = 0;
       for (const Visitor& v : batch) {
         if (v.kind == VisitKind::kControl) {
           handle_control(rt, v);
         } else {
           safra_.on_basic_receive(r);
-          process_visitor(rt, v);
+          process_one(v);
           comm_.note_processed(v.epoch);
         }
       }
       comm_.flush(r);
+      if (obs_time) {
+        const std::uint64_t dt = obs_now() - iter_t0;
+        const std::uint64_t control = std::min(dt, rt.obs_control_ns);
+        rt.phases.add(obs::Phase::kPropagate, dt - control);
+        if (control) rt.phases.add(obs::Phase::kSnapshotDrain, control);
+        if (trace) trace->emit("drain", iter_t0, dt, "events", batch.size());
+      }
       continue;
     }
 
@@ -406,7 +463,8 @@ void Engine::rank_main(RankId r) {
     //    internally FIFO).
     if (rt.stream_remaining.load(std::memory_order_relaxed) > 0 &&
         !streams_paused_.load(std::memory_order_acquire)) {
-      for (std::size_t pulled = 0; pulled < cfg_.stream_chunk; ++pulled) {
+      std::size_t pulled = 0;
+      for (; pulled < cfg_.stream_chunk; ++pulled) {
         detail::RankRuntime::StreamCursor* sc = nullptr;
         for (std::size_t tries = 0; tries < rt.streams.size(); ++tries) {
           auto& cand = rt.streams[rt.next_stream];
@@ -425,7 +483,7 @@ void Engine::rank_main(RankId r) {
         if (part_.owner(e.src) == r) {
           comm_.note_injected(iter_epoch);
           rt.stream_remaining.fetch_sub(1, std::memory_order_release);
-          process_visitor(rt, vis);
+          process_one(vis);
           comm_.note_processed(iter_epoch);
         } else {
           rt.send(vis);
@@ -434,6 +492,11 @@ void Engine::rank_main(RankId r) {
       }
       if (did_work) {
         comm_.flush(r);
+        if (obs_time) {
+          const std::uint64_t dt = obs_now() - iter_t0;
+          rt.phases.add(obs::Phase::kIngest, dt);
+          if (trace) trace->emit("ingest", iter_t0, dt, "events", pulled);
+        }
         continue;
       }
     }
@@ -444,9 +507,11 @@ void Engine::rank_main(RankId r) {
       const bool stream_passive =
           rt.stream_remaining.load(std::memory_order_relaxed) == 0 ||
           streams_paused_.load(std::memory_order_acquire);
-      if (stream_passive && comm_.mailbox(r).empty()) handle_safra_idle(rt);
+      if (stream_passive && comm_.mailbox(r).empty() && !comm_.local_pending(r))
+        handle_safra_idle(rt);
     }
     comm_.mailbox(r).wait(kParkInterval);
+    if (rt.obs_phases) rt.phases.add(obs::Phase::kQuiesce, obs_now() - iter_t0);
   }
 }
 

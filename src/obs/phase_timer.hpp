@@ -1,0 +1,86 @@
+// Per-rank wall-clock accounting of the event loop's phases.
+//
+// Each rank classifies every loop iteration into one phase and accumulates
+// its duration: ingest (stream pulls + their local processing), propagate
+// (mailbox drains: algorithm cascades and routed topology events), quiesce
+// (parked or circulating termination tokens), snapshot-drain (harvest and
+// repair control work). Separating ingestion from propagation cost is what
+// lets two configurations be compared at all (Besta et al.'s streaming
+// survey makes this point); the quiesce column shows how much of a run is
+// idle-tail rather than work.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace remo::obs {
+
+enum class Phase : std::uint8_t {
+  kIngest = 0,
+  kPropagate = 1,
+  kQuiesce = 2,
+  kSnapshotDrain = 3,
+};
+inline constexpr std::size_t kPhaseCount = 4;
+
+constexpr const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kIngest:
+      return "ingest";
+    case Phase::kPropagate:
+      return "propagate";
+    case Phase::kQuiesce:
+      return "quiesce";
+    case Phase::kSnapshotDrain:
+      return "snapshot_drain";
+  }
+  return "?";
+}
+
+/// Mergeable copy of one timer set, nanoseconds per phase.
+struct PhaseSnapshot {
+  std::array<std::uint64_t, kPhaseCount> ns{};
+
+  std::uint64_t operator[](Phase p) const noexcept {
+    return ns[static_cast<std::size_t>(p)];
+  }
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto v : ns) t += v;
+    return t;
+  }
+  void merge(const PhaseSnapshot& other) noexcept {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) ns[i] += other.ns[i];
+  }
+};
+
+/// Single-writer accumulator (the owning rank), relaxed-atomic so the main
+/// thread can snapshot concurrently.
+class PhaseTimers {
+ public:
+  void add(Phase p, std::uint64_t ns) noexcept {
+    ns_[static_cast<std::size_t>(p)].fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  PhaseSnapshot snapshot() const noexcept {
+    PhaseSnapshot s;
+    for (std::size_t i = 0; i < kPhaseCount; ++i)
+      s.ns[i] = ns_[i].load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> ns_{};
+};
+
+/// Monotonic nanosecond clock shared by all observability call sites.
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace remo::obs

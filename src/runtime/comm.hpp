@@ -10,6 +10,8 @@
 // and decrements only after its callback has fully executed (including the
 // sends the callback generated, which were incremented first). Therefore
 // in_flight == 0 implies no basic work exists anywhere in the system.
+// DESIGN.md §6 ("Quiescence and the in-flight invariant") is the full
+// treatment, message-flow diagram included.
 #pragma once
 
 #include <atomic>
@@ -43,12 +45,38 @@ class Comm {
   /// Send a visitor from rank `from` to rank `to`. Must be called from the
   /// owning thread of `from`. Basic visitors are counted; control visitors
   /// bypass accounting (they must not hold off quiescence).
+  ///
+  /// Self-sends (`from == to`) take a loop-back fast path: the sender IS
+  /// the consumer, so the visitor goes straight onto a thread-private local
+  /// queue — no send buffer, no mailbox mutex, no flush round-trip. FIFO
+  /// among a rank's self-sends is trivially preserved; cross-sender order
+  /// into one mailbox was never guaranteed. Drain via Comm::drain (not the
+  /// raw mailbox) to observe the local queue.
   void send(RankId from, RankId to, const Visitor& v) {
     if (v.kind != VisitKind::kControl) note_injected(v.epoch);
+    if (from == to) {
+      ranks_[from]->local.push_back(v);
+      return;
+    }
     auto& buf = ranks_[from]->out[to];
     buf.push_back(v);
     if (buf.size() >= batch_size_) flush_one(from, to);
   }
+
+  /// Consumer-side drain of rank `r`'s ingress: the (locked) mailbox plus
+  /// the (thread-private) loop-back queue. Must be called from the owning
+  /// thread of `r`. Returns false when both were empty; `out` is replaced.
+  bool drain(RankId r, std::vector<Visitor>& out) {
+    auto& pr = *ranks_[r];
+    const bool from_box = pr.box.drain(out);  // clears `out` first
+    if (pr.local.empty()) return from_box;
+    out.insert(out.end(), pr.local.begin(), pr.local.end());
+    pr.local.clear();
+    return true;
+  }
+
+  /// True when rank `r` has undrained loop-back visitors. Owning thread only.
+  bool local_pending(RankId r) const noexcept { return !ranks_[r]->local.empty(); }
 
   /// Push all of rank `from`'s buffered visitors to their mailboxes.
   void flush(RankId from) {
@@ -91,6 +119,7 @@ class Comm {
     explicit PerRank(RankId n) : out(n) {}
     Mailbox box;
     std::vector<std::vector<Visitor>> out;  // per-destination send buffers
+    std::vector<Visitor> local;  // loop-back queue (owning thread only)
   };
 
   void flush_one(RankId from, RankId to) {

@@ -11,6 +11,7 @@ struct alignas(64) RankMetrics {
   std::uint64_t algorithm_events = 0;  ///< visitor callbacks executed
   std::uint64_t messages_sent = 0;     ///< visitors sent (local + remote)
   std::uint64_t remote_messages = 0;   ///< visitors that crossed ranks
+  std::uint64_t local_messages = 0;    ///< self-sends (loop-back fast path)
   std::uint64_t edges_stored = 0;      ///< directed edges resident
   std::uint64_t control_messages = 0;  ///< termination tokens, markers
 };
@@ -20,6 +21,7 @@ struct MetricsSummary {
   std::uint64_t algorithm_events = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t remote_messages = 0;
+  std::uint64_t local_messages = 0;
   std::uint64_t edges_stored = 0;
   std::uint64_t control_messages = 0;
 
@@ -30,6 +32,7 @@ struct MetricsSummary {
       s.algorithm_events += m.algorithm_events;
       s.messages_sent += m.messages_sent;
       s.remote_messages += m.remote_messages;
+      s.local_messages += m.local_messages;
       s.edges_stored += m.edges_stored;
       s.control_messages += m.control_messages;
     }

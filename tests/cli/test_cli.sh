@@ -33,6 +33,24 @@ grep -q "^0 1$" "$WORK/levels.txt"
 echo "== ingest CC under Safra termination =="
 "$REMO" ingest --graph "$WORK/g.txt" --ranks 2 --algo cc --safra
 
+echo "== observability: --stats / --stats-json / --trace =="
+"$REMO" ingest --graph "$WORK/g.bin" --ranks 2 --algo bfs --source 0 \
+    --stats --stats-json "$WORK/stats.json" --trace "$WORK/trace.json" \
+    | tee "$WORK/obs.out"
+grep -q "per-update latency" "$WORK/obs.out"
+grep -q "p50" "$WORK/obs.out"
+grep -q "stats written" "$WORK/obs.out"
+grep -q "trace written" "$WORK/obs.out"
+test -s "$WORK/stats.json"
+test -s "$WORK/trace.json"
+grep -q '"schema": "remo-stats-1"' "$WORK/stats.json"
+grep -q '"p50_ns"' "$WORK/stats.json"
+grep -q '"p99_ns"' "$WORK/stats.json"
+grep -q '"local_messages"' "$WORK/stats.json"
+grep -q '"traceEvents"' "$WORK/trace.json"
+grep -q '"ph":"X"' "$WORK/trace.json"
+grep -q '"thread_name"' "$WORK/trace.json"
+
 echo "== usage error paths =="
 if "$REMO" bogus-command 2>/dev/null; then echo "expected failure"; exit 1; fi
 if "$REMO" ingest 2>/dev/null; then echo "expected failure"; exit 1; fi

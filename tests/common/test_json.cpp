@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ExactSixtyFourBitIntegers) {
+  // Counters must survive serialisation without double rounding.
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  EXPECT_EQ(Json(big).dump(), "18446744073709551615");
+  const std::int64_t neg = INT64_MIN;
+  EXPECT_EQ(Json(static_cast<long long>(neg)).dump(), "-9223372036854775808");
+
+  std::string err;
+  const Json round = Json::parse("18446744073709551615", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(round.as_uint(), big);
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd\te").dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = 1;
+  j["alpha"] = 2;
+  j["mid"] = 3;
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  ASSERT_EQ(j.members().size(), 3u);
+  EXPECT_EQ(j.members()[0].first, "zebra");
+  // operator[] on an existing key updates in place, no reorder.
+  j["alpha"] = 9;
+  EXPECT_EQ(j.members()[1].first, "alpha");
+  EXPECT_EQ(j.find("alpha")->as_int(), 9);
+}
+
+TEST(Json, NestedBuildAndLookup) {
+  Json j = Json::object();
+  j["outer"]["inner"] = 5;  // auto-creates the intermediate object
+  j["list"].push_back(1);
+  j["list"].push_back("two");
+  ASSERT_TRUE(j.find("outer")->is_object());
+  EXPECT_EQ(j.find("outer")->find("inner")->as_int(), 5);
+  ASSERT_TRUE(j.find("list")->is_array());
+  EXPECT_EQ(j.find("list")->at(1).as_string(), "two");
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_FALSE(j.contains("missing"));
+}
+
+TEST(Json, RoundTripCompact) {
+  Json j = Json::object();
+  j["name"] = "bench";
+  j["count"] = std::uint64_t{123456789012345ull};
+  j["rate"] = 1234.5;
+  j["ok"] = true;
+  j["nothing"] = nullptr;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2);
+  j["xs"] = std::move(arr);
+
+  std::string err;
+  const Json back = Json::parse(j.dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(back.find("name")->as_string(), "bench");
+  EXPECT_EQ(back.find("count")->as_uint(), 123456789012345ull);
+  EXPECT_DOUBLE_EQ(back.find("rate")->as_double(), 1234.5);
+  EXPECT_TRUE(back.find("ok")->as_bool());
+  EXPECT_TRUE(back.find("nothing")->is_null());
+  ASSERT_EQ(back.find("xs")->size(), 2u);
+  EXPECT_EQ(back.find("xs")->at(0).as_int(), 1);
+}
+
+TEST(Json, RoundTripPretty) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"].push_back(Json::object());
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  std::string err;
+  const Json back = Json::parse(pretty, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(back.find("a")->as_int(), 1);
+}
+
+TEST(Json, ParseNumberForms) {
+  std::string err;
+  EXPECT_EQ(Json::parse("0", &err).as_int(), 0);
+  EXPECT_EQ(Json::parse("-42", &err).as_int(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e3", &err).as_double(), 2500.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.125", &err).as_double(), -0.125);
+  ASSERT_TRUE(err.empty()) << err;
+  // Negative integers stay integral, not float.
+  EXPECT_EQ(Json::parse("-42", &err).type(), Json::Type::kInt);
+  EXPECT_EQ(Json::parse("42", &err).type(), Json::Type::kUint);
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  std::string err;
+  const Json j = Json::parse("\"\\u0041\\u00e9\\u20ac\"", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(j.as_string(), "A\xC3\xA9\xE2\x82\xAC");  // A, e-acute, euro sign
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  std::string err;
+  const Json j = Json::parse("  {\n \"k\" :\t[ 1 , 2 ]\r\n}  ", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(j.find("k")->size(), 2u);
+}
+
+TEST(Json, ParseErrorsReportPosition) {
+  std::string err;
+  EXPECT_TRUE(Json::parse("{\"a\": }", &err).is_null());
+  EXPECT_FALSE(err.empty());
+
+  EXPECT_TRUE(Json::parse("[1, 2", &err).is_null());
+  EXPECT_NE(err.find(':'), std::string::npos);  // line:col prefix
+
+  EXPECT_TRUE(Json::parse("", &err).is_null());
+  EXPECT_FALSE(err.empty());
+
+  EXPECT_TRUE(Json::parse("{} trailing", &err).is_null());
+  EXPECT_NE(err.find("trailing"), std::string::npos);
+
+  EXPECT_TRUE(Json::parse("truth", &err).is_null());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+  std::string err;
+  EXPECT_TRUE(Json::parse("[]", &err).is_array());
+  EXPECT_TRUE(Json::parse("{}", &err).is_object());
+  ASSERT_TRUE(err.empty());
+}
+
+}  // namespace
+}  // namespace remo::test

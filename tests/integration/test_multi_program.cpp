@@ -100,8 +100,9 @@ TEST(MultiProgram, StaticAlgorithmOnPausedDynamicGraph) {
   const auto dists = static_sssp_on_store(engine, source);
   for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
     const VertexId ext = g.external_of(v);
-    if (const StateWord* got = dists.find(ext))
+    if (const StateWord* got = dists.find(ext)) {
       EXPECT_EQ(*got, oracle[v]) << "vertex " << ext;  // unit weights
+    }
   }
 }
 

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/histogram.hpp"
+
+namespace remo::obs::test {
+namespace {
+
+using hist_detail::bucket_lower;
+using hist_detail::bucket_of;
+using hist_detail::bucket_upper;
+using hist_detail::kBucketCount;
+using hist_detail::kSubCount;
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  // Values below 16 each get a dedicated unit bucket.
+  for (std::uint64_t v = 0; v < kSubCount; ++v) {
+    EXPECT_EQ(bucket_of(v), v);
+    EXPECT_EQ(bucket_lower(static_cast<std::uint32_t>(v)), v);
+    EXPECT_EQ(bucket_upper(static_cast<std::uint32_t>(v)), v + 1);
+  }
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // Each power of two starts a fresh major group of 16 sub-buckets.
+  EXPECT_EQ(bucket_of(16), 16u);
+  EXPECT_EQ(bucket_of(31), 31u);  // group 1 has unit-wide sub-buckets
+  EXPECT_EQ(bucket_of(32), 32u);
+  EXPECT_EQ(bucket_of(33), 32u);  // group 2: sub-buckets 2 wide
+  EXPECT_EQ(bucket_of(34), 33u);
+  EXPECT_EQ(bucket_lower(32), 32u);
+  EXPECT_EQ(bucket_upper(32), 34u);
+}
+
+TEST(HistogramBuckets, RoundTripContainsValue) {
+  // lower <= v < upper for a spread of magnitudes, including extremes.
+  const std::uint64_t probes[] = {0,    1,    15,   16,     17,       1000,
+                                  4096, 4097, 1u << 20,     123456789,
+                                  std::uint64_t{1} << 40,   (std::uint64_t{1} << 40) + 12345,
+                                  ~std::uint64_t{0} - 1};
+  for (const std::uint64_t v : probes) {
+    const std::uint32_t b = bucket_of(v);
+    ASSERT_LT(b, kBucketCount) << v;
+    EXPECT_LE(bucket_lower(b), v) << v;
+    EXPECT_GT(bucket_upper(b), v) << v;
+  }
+  // The maximum value saturates the final bucket (upper bound is inclusive
+  // there by construction).
+  EXPECT_EQ(bucket_of(~std::uint64_t{0}), kBucketCount - 1);
+}
+
+TEST(HistogramBuckets, RelativeErrorBounded) {
+  // Bucket width / lower bound <= 1/16 for all non-tiny values.
+  for (std::uint32_t b = kSubCount; b + 1 < kBucketCount; ++b) {
+    const std::uint64_t lo = bucket_lower(b);
+    const std::uint64_t width = bucket_upper(b) - lo;
+    EXPECT_LE(static_cast<double>(width) / static_cast<double>(lo), 1.0 / 16.0)
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramBuckets, IndicesAreMonotone) {
+  std::uint32_t prev = bucket_of(0);
+  for (std::uint64_t v = 1; v < 100000; ++v) {
+    const std::uint32_t b = bucket_of(v);
+    EXPECT_GE(b, prev) << v;
+    prev = b;
+  }
+}
+
+TEST(HistogramPercentiles, ExactOnUnitBuckets) {
+  // 1..10 once each: every value sits in its own exact bucket, so every
+  // percentile is the exact order statistic.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_EQ(s.sum, 55u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 10u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+  EXPECT_EQ(s.percentile(10), 1u);
+  EXPECT_EQ(s.percentile(50), 5u);
+  EXPECT_EQ(s.percentile(90), 9u);
+  EXPECT_EQ(s.percentile(100), 10u);
+  EXPECT_EQ(s.p50(), 5u);
+  EXPECT_EQ(s.p90(), 9u);
+}
+
+TEST(HistogramPercentiles, SkewedDistribution) {
+  // 99 fast samples + 1 slow one: p99 stays fast, p99.9+ sees the outlier.
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(5);
+  h.record(1'000'000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.p50(), 5u);
+  EXPECT_EQ(s.p99(), 5u);
+  const std::uint64_t tail = s.p999();
+  EXPECT_GE(tail, 1'000'000u * 15 / 16);
+  EXPECT_LE(tail, 1'000'000u);  // representative clamps to observed max
+}
+
+TEST(HistogramPercentiles, QuantisationWithinBound) {
+  LatencyHistogram h;
+  const std::uint64_t v = 123456;
+  h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  const std::uint64_t got = s.p50();
+  EXPECT_GE(got, v - v / 16);
+  EXPECT_LE(got, v);  // clamped to max, never above the true sample
+}
+
+TEST(HistogramPercentiles, EmptyHistogramIsZero) {
+  const HistogramSnapshot s = LatencyHistogram{}.snapshot();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.p50(), 0u);
+  EXPECT_EQ(s.percentile(100), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramMerge, AcrossRanks) {
+  // Two "ranks" with disjoint value ranges; the merged view must interleave
+  // them as one population.
+  LatencyHistogram fast, slow;
+  for (std::uint64_t v = 1; v <= 5; ++v) fast.record(v);   // 1..5
+  for (std::uint64_t v = 11; v <= 15; ++v) slow.record(v); // 11..15
+  HistogramSnapshot merged = fast.snapshot();
+  merged.merge(slow.snapshot());
+  EXPECT_EQ(merged.count, 10u);
+  EXPECT_EQ(merged.min, 1u);
+  EXPECT_EQ(merged.max, 15u);
+  EXPECT_EQ(merged.percentile(50), 5u);   // 5th of {1..5,11..15}
+  EXPECT_EQ(merged.percentile(60), 11u);  // 6th crosses into the slow rank
+  EXPECT_EQ(merged.percentile(100), 15u);
+}
+
+TEST(HistogramMerge, IntoEmptyAndFromEmpty) {
+  LatencyHistogram h;
+  h.record(7);
+  HistogramSnapshot a;  // empty, no counts allocated
+  a.merge(h.snapshot());
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_EQ(a.p50(), 7u);
+  a.merge(HistogramSnapshot{});  // merging an empty snapshot is a no-op
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_EQ(a.min, 7u);
+}
+
+TEST(HistogramMerge, SumsBucketCounts) {
+  LatencyHistogram x, y;
+  x.record(100);
+  x.record(100);
+  y.record(100);
+  HistogramSnapshot m = x.snapshot();
+  m.merge(y.snapshot());
+  EXPECT_EQ(m.counts[bucket_of(100)], 3u);
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_EQ(m.sum, 300u);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(3);
+  h.record(999);
+  ASSERT_EQ(h.count(), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+}  // namespace
+}  // namespace remo::obs::test

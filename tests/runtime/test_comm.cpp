@@ -91,13 +91,48 @@ TEST(Comm, FifoAcrossFlushes) {
                                          static_cast<VertexId>(i));
 }
 
-TEST(Comm, SelfSendDeliversToOwnMailbox) {
+TEST(Comm, SelfSendTakesLoopbackFastPath) {
   Comm comm(1);
   comm.send(0, 0, basic(9));
-  comm.flush(0);
+  // The loop-back queue bypasses the send buffers and the mailbox entirely.
+  EXPECT_FALSE(comm.has_buffered(0));
+  EXPECT_TRUE(comm.mailbox(0).empty());
+  EXPECT_TRUE(comm.local_pending(0));
+  EXPECT_EQ(comm.in_flight_total(), 1);  // still accounted like any basic send
+
   std::vector<Visitor> out;
-  ASSERT_TRUE(comm.mailbox(0).drain(out));
+  ASSERT_TRUE(comm.drain(0, out));
+  ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].target, 9u);
+  EXPECT_FALSE(comm.local_pending(0));
+  EXPECT_FALSE(comm.drain(0, out));  // now fully empty
+}
+
+TEST(Comm, DrainMergesMailboxAndLoopback) {
+  Comm comm(2);
+  comm.send(1, 0, basic(1));  // remote: buffered, then mailbox
+  comm.flush(1);
+  comm.send(0, 0, basic(2));  // loop-back
+  comm.send(0, 0, basic(3));
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.drain(0, out));
+  ASSERT_EQ(out.size(), 3u);
+  // Mailbox content first, then the loop-back queue, each FIFO.
+  EXPECT_EQ(out[0].target, 1u);
+  EXPECT_EQ(out[1].target, 2u);
+  EXPECT_EQ(out[2].target, 3u);
+}
+
+TEST(Comm, DrainReplacesOutput) {
+  Comm comm(1);
+  std::vector<Visitor> out(5, basic(0));
+  EXPECT_FALSE(comm.drain(0, out));
+  EXPECT_TRUE(out.empty());  // stale content cleared even when idle
+  comm.send(0, 0, basic(7));
+  out.assign(3, basic(0));
+  ASSERT_TRUE(comm.drain(0, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].target, 7u);
 }
 
 }  // namespace

@@ -63,7 +63,15 @@ int usage() {
                "  remo stats    --graph FILE\n"
                "  remo ingest   --graph FILE [--ranks N] [--streams N]\n"
                "                [--algo none|bfs|sssp|cc|st|degree] [--source V]\n"
-               "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n");
+               "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n"
+               "                [--stats] [--stats-json FILE] [--trace FILE]\n"
+               "                [--latency-sample SHIFT]\n"
+               "\n"
+               "observability (docs/OBSERVABILITY.md):\n"
+               "  --stats            print counters, latency percentiles, phase times\n"
+               "  --stats-json FILE  write the same as JSON (schema remo-stats-1)\n"
+               "  --trace FILE       capture a chrome://tracing / Perfetto trace\n"
+               "  --latency-sample N time every 2^N-th update (default 6; 0 = all)\n");
   return 2;
 }
 
@@ -135,6 +143,13 @@ int cmd_ingest(const Args& a) {
   EngineConfig cfg;
   cfg.num_ranks = static_cast<RankId>(a.num("ranks", 4));
   if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
+
+  const bool want_stats = a.flag("stats");
+  const std::string stats_json = a.str("stats-json");
+  const std::string trace_path = a.str("trace");
+  cfg.obs.trace = !trace_path.empty();
+  cfg.obs.latency_sample_shift = static_cast<std::uint32_t>(
+      a.num("latency-sample", cfg.obs.latency_sample_shift));
   Engine engine(cfg);
 
   const std::string algo = a.str("algo", "none");
@@ -206,6 +221,36 @@ int cmd_ingest(const Args& a) {
                      static_cast<unsigned long long>(s));
       std::fclose(f);
       std::printf("snapshot written to %s\n", snap_out.c_str());
+    }
+  }
+
+  // Observability artefacts last, so they cover any snapshot/collect work.
+  if (want_stats || !stats_json.empty()) {
+    const obs::MetricsSnapshot snap = engine.metrics_snapshot();
+    if (want_stats) std::fputs(snap.to_text().c_str(), stdout);
+    if (!stats_json.empty()) {
+      std::FILE* f = std::fopen(stats_json.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", stats_json.c_str());
+        return 1;
+      }
+      const std::string text = snap.to_json().dump(2);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("stats written to %s\n", stats_json.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    if (engine.write_trace(trace_path)) {
+      std::printf("trace written to %s (load in ui.perfetto.dev or "
+                  "chrome://tracing)\n", trace_path.c_str());
+    } else if (!engine.tracing_enabled()) {
+      std::fprintf(stderr, "trace capture unavailable (compiled out?)\n");
+      return 1;
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      return 1;
     }
   }
   return 0;
