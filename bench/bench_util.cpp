@@ -105,7 +105,26 @@ Json engine_obs_json(const Engine& engine) {
   Json out = Json::object();
   for (const char* key : {"counters", "update_latency", "phases"})
     if (const Json* sec = full.find(key)) out[key] = *sec;
+  out["gauges"] = engine.sample_gauges().to_json(/*include_per_rank=*/false);
   return out;
+}
+
+std::unique_ptr<obs::MetricsExporter> exporter_from_env(Engine& engine) {
+  const char* path = std::getenv("REMO_METRICS_OUT");
+  if (!path || !*path) return nullptr;
+  obs::MetricsExporter::Config cfg;
+  cfg.path = path;
+  if (const char* p = std::getenv("REMO_METRICS_PERIOD_MS")) {
+    const int ms = std::atoi(p);
+    if (ms > 0) cfg.period = std::chrono::milliseconds(ms);
+  }
+  if (const char* f = std::getenv("REMO_METRICS_FORMAT")) {
+    const std::string fmt = f;
+    if (fmt == "prom" || fmt == "prometheus")
+      cfg.format = obs::MetricsExporter::Format::kPrometheus;
+  }
+  return std::make_unique<obs::MetricsExporter>(
+      [&engine] { return engine.sample_gauges(); }, cfg);
 }
 
 }  // namespace remo::bench

@@ -7,6 +7,9 @@
 //                      paper averaged 10)
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,7 +51,19 @@ Json run_row(const std::string& dataset, RankId ranks, std::uint64_t events,
 
 /// Latency percentiles + message counters of a (quiescent) engine in the
 /// stats-JSON shape — attach as a run row's "latency"/"messages"/"phases".
+/// Includes a "gauges" section: the final live-telemetry sample, whose
+/// convergence_lag_events must be 0 at quiescence (CI's bench-smoke job
+/// asserts this).
 Json engine_obs_json(const Engine& engine);
+
+/// Attach a live-telemetry exporter when $REMO_METRICS_OUT is set (the
+/// bench-overhead A/B knob and CI's bench-smoke job):
+///   REMO_METRICS_OUT        output path ("-" = stdout JSONL)
+///   REMO_METRICS_PERIOD_MS  sampling period (default 100)
+///   REMO_METRICS_FORMAT     "jsonl" (default) or "prom"
+/// Returns null when the knob is unset. The exporter samples `engine`, so
+/// destroy it before the engine (declare it after).
+std::unique_ptr<obs::MetricsExporter> exporter_from_env(Engine& engine);
 
 /// Mean of a sample vector.
 double mean(const std::vector<double>& xs);
@@ -85,6 +100,7 @@ SaturationResult measure_saturation(const EdgeList& edges, RankId ranks, int rep
     cfg.undirected = undirected;
     Engine engine(cfg);
     setup(engine);
+    const auto exporter = exporter_from_env(engine);
     const StreamSet streams =
         make_streams(edges, ranks, StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)});
     const IngestStats stats = engine.ingest(streams);

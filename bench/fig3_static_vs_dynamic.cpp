@@ -59,6 +59,7 @@ int main() {
     }
     {  // (b) dynamic construction, then static BFS over the dynamic store
       Engine engine(EngineConfig{.num_ranks = ranks});
+      const auto exporter = exporter_from_env(engine);
       Timer t;
       const IngestStats st = engine.ingest(make_streams(
           data.edges, ranks, StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)}));
@@ -72,6 +73,7 @@ int main() {
     }
     {  // (c) dynamic construction overlapped with dynamic BFS
       Engine engine(EngineConfig{.num_ranks = ranks});
+      const auto exporter = exporter_from_env(engine);
       auto [id, bfs] = engine.attach_make<DynamicBfs>(source);
       engine.inject_init(id, source);
       Timer t;

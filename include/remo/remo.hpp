@@ -13,12 +13,16 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 
-// Observability (histograms, phase timers, chrome-trace export)
+// Observability (histograms, phase timers, chrome-trace export, live
+// telemetry: gauges, metrics exporter, stall watchdog)
+#include "obs/exporter.hpp"
+#include "obs/gauges.hpp"
 #include "obs/histogram.hpp"
 #include "obs/obs_config.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 // Dynamic graph storage (DegAwareRHH-style)
 #include "storage/adjacency.hpp"

@@ -202,6 +202,10 @@ void Engine::inject_edge(const EdgeEvent& e) {
   Visitor vis{e.src, e.dst, 0, e.weight, kind, Visitor::kTopologyAlgo,
               epoch_.load(std::memory_order_acquire)};
   comm_.note_injected(vis.epoch);
+  // Watermark bump strictly after the in-flight increment: a gauge sampler
+  // that observes this count (acquire) therefore also observes the event
+  // as in flight (or already applied) — never as missing.
+  injected_events_.fetch_add(1, std::memory_order_release);
   safra_.on_basic_send(0);
   comm_.mailbox(part_.owner(e.src)).push_one(vis);
 }
@@ -527,7 +531,7 @@ obs::MetricsSnapshot Engine::metrics_snapshot() const {
   s.per_rank.reserve(ranks_.size());
   for (const auto& rt : ranks_) {
     obs::RankObs ro;
-    ro.counters = rt->metrics;
+    ro.counters = rt->metrics.snapshot();
     ro.update_latency_ns = rt->update_latency.snapshot();
     ro.phases = rt->phases.snapshot();
     s.update_latency_ns.merge(ro.update_latency_ns);
@@ -559,7 +563,122 @@ bool Engine::write_trace(const std::string& path) const {
 std::vector<RankMetrics> Engine::rank_metrics() const {
   std::vector<RankMetrics> out;
   out.reserve(ranks_.size());
-  for (const auto& rt : ranks_) out.push_back(rt->metrics);
+  for (const auto& rt : ranks_) out.push_back(rt->metrics.snapshot());
+  return out;
+}
+
+obs::GaugeSample Engine::sample_gauges() const {
+  obs::GaugeSample s;
+  s.sample_ns = obs_now();
+
+  // Soundness of the watermark advance hinges on read order: take the
+  // ingested counts FIRST (acquire), then probe the quiescence indicators.
+  // Each ingested event bumps its gauge only after the matching in-flight
+  // increment (release), so if the later checks find in-flight == 0 and
+  // every queue empty, all events in `ingested` have provably been applied
+  // — the count read here is a safe converged watermark.
+  std::uint64_t ingested = injected_events_.load(std::memory_order_acquire);
+  for (const auto& rt : ranks_)
+    ingested += rt->gauges.events_ingested.load(std::memory_order_acquire);
+
+  bool streams_active = false;
+  if (streams_assigned_.load(std::memory_order_acquire) &&
+      !streams_paused_.load(std::memory_order_acquire)) {
+    for (const auto& rt : ranks_)
+      if (rt->stream_remaining.load(std::memory_order_acquire) != 0)
+        streams_active = true;
+  }
+
+  s.per_rank.reserve(ranks_.size());
+  for (RankId r = 0; r < cfg_.num_ranks; ++r) {
+    const auto& rt = *ranks_[r];
+    obs::RankGaugeSample g;
+    g.queue_depth = comm_.queue_depth(r);
+    g.events_ingested = rt.gauges.events_ingested.load(std::memory_order_relaxed);
+    g.events_applied = rt.metrics.topology_events.load();
+    g.converged_through = rt.gauges.converged_through.load(std::memory_order_relaxed);
+    g.idle = rt.gauges.idle.load(std::memory_order_relaxed);
+    if (!(g.idle && g.queue_depth == 0)) {
+      const std::uint64_t passive_ns =
+          rt.gauges.last_passive_ns.load(std::memory_order_relaxed);
+      g.staleness_ns = s.sample_ns > passive_ns ? s.sample_ns - passive_ns : 0;
+    }
+    g.trace_emitted = rt.trace ? rt.trace->emitted() : 0;
+    if (g.idle) ++s.idle_ranks;
+    s.queue_depth += g.queue_depth;
+    s.events_applied += g.events_applied;
+    s.per_rank.push_back(g);
+  }
+  s.in_flight = comm_.in_flight_total();
+  s.events_ingested = ingested;
+  s.idle_ratio = static_cast<double>(s.idle_ranks) / cfg_.num_ranks;
+  s.quiescent = !streams_active && s.in_flight == 0 && s.queue_depth == 0;
+
+  if (s.quiescent) {
+    // Advance the converged watermark (CAS-max keeps it monotone under
+    // concurrent samplers) and timestamp the advance for staleness.
+    std::uint64_t cur = converged_events_.load(std::memory_order_relaxed);
+    while (cur < ingested && !converged_events_.compare_exchange_weak(
+                                 cur, ingested, std::memory_order_acq_rel,
+                                 std::memory_order_relaxed)) {
+    }
+    if (cur < ingested) converged_ns_.store(s.sample_ns, std::memory_order_release);
+  }
+  s.converged_through = converged_events_.load(std::memory_order_acquire);
+  s.convergence_lag_events =
+      s.events_ingested > s.converged_through
+          ? s.events_ingested - s.converged_through
+          : 0;
+  if (s.convergence_lag_events != 0) {
+    const std::uint64_t conv_ns = converged_ns_.load(std::memory_order_acquire);
+    s.staleness_ns = s.sample_ns > conv_ns ? s.sample_ns - conv_ns : 0;
+  }
+
+  s.safra_mode = cfg_.termination == TerminationMode::kSafra;
+  if (s.safra_mode) {
+    s.safra_generation = safra_.generation();
+    s.safra_probe_rounds = safra_.probe_rounds();
+    s.safra_probe_active = safra_.probe_active();
+    s.safra_terminated = safra_.terminated();
+  }
+  return s;
+}
+
+std::string Engine::stall_dump(RankId flagged) const {
+  std::string out;
+  if (flagged >= cfg_.num_ranks) return out;
+  const auto& rt = *ranks_[flagged];
+  const RankMetrics m = rt.metrics.snapshot();
+  out += strfmt(
+      "rank %u counters: topo %llu, algo %llu, sent %llu (local %llu, remote "
+      "%llu, control %llu), edges stored %llu\n",
+      flagged, static_cast<unsigned long long>(m.topology_events),
+      static_cast<unsigned long long>(m.algorithm_events),
+      static_cast<unsigned long long>(m.messages_sent),
+      static_cast<unsigned long long>(m.local_messages),
+      static_cast<unsigned long long>(m.remote_messages),
+      static_cast<unsigned long long>(m.control_messages),
+      static_cast<unsigned long long>(m.edges_stored));
+  out += strfmt("rank %u stream backlog: %llu events unpulled\n", flagged,
+                static_cast<unsigned long long>(
+                    rt.stream_remaining.load(std::memory_order_acquire)));
+  if (rt.trace) {
+    // Best-effort tail: the flagged rank has stopped emitting, so the ring
+    // is stable in practice (see TraceBuffer::recent_events).
+    const auto recent = rt.trace->recent_events(16);
+    out += strfmt("rank %u recent trace slices (newest last, %llu emitted "
+                  "lifetime):\n",
+                  flagged, static_cast<unsigned long long>(rt.trace->emitted()));
+    for (const auto& ev : recent) {
+      out += strfmt("  %-18s ts %.6f s dur %.3f us", ev.name ? ev.name : "?",
+                    static_cast<double>(ev.ts_ns) / 1e9,
+                    static_cast<double>(ev.dur_ns) / 1e3);
+      if (ev.arg_name)
+        out += strfmt("  %s=%llu", ev.arg_name,
+                      static_cast<unsigned long long>(ev.arg_value));
+      out += '\n';
+    }
+  }
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include "core/snapshot.hpp"
 #include "core/vertex_program.hpp"
 #include "gen/stream.hpp"
+#include "obs/gauges.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "runtime/comm.hpp"
@@ -166,9 +167,31 @@ class Engine {
 
   /// Full observability snapshot: counters, merged per-update latency
   /// histogram (p50/p90/p99/p999), per-phase wall-clock accounting — per
-  /// rank and aggregated. Readable at any time (relaxed-atomic cells);
-  /// exact at quiescence. See docs/OBSERVABILITY.md.
+  /// rank and aggregated.
+  ///
+  /// Safe to call from any thread concurrently with the event loop: every
+  /// cell it reads is a single-writer relaxed atomic, so the snapshot is a
+  /// torn-across-counters but per-counter-consistent view (each counter is
+  /// some value it actually held; counters need not be from the same
+  /// instant). At quiescence the snapshot is exact. See
+  /// docs/OBSERVABILITY.md.
   obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// One live-telemetry sample: watermarks (events ingested / applied /
+  /// converged-through), convergence lag and staleness, per-rank queue
+  /// depths, in-flight message count, and termination-detector state.
+  /// Lock-free reads of relaxed/acquire atomics — callable from any thread
+  /// at any time without stopping the engine; this is what the
+  /// MetricsExporter and StallWatchdog poll. Advances the converged-through
+  /// watermark (CAS-max) when it observes the system quiescent, so it is
+  /// `const` in the logical sense only. See docs/OBSERVABILITY.md.
+  obs::GaugeSample sample_gauges() const;
+
+  /// Render the stall-watchdog's extra diagnostics for a flagged rank:
+  /// the rank's counter snapshot plus its most recent trace events (when
+  /// tracing is on). Best-effort — the flagged rank is by definition not
+  /// emitting, so the trace tail is stable in practice.
+  std::string stall_dump(RankId flagged) const;
 
   /// True when chrome-trace capture is active (config flag set and tracing
   /// compiled in).
@@ -257,6 +280,17 @@ class Engine {
   // Current ingestion run bookkeeping (main thread only).
   std::chrono::steady_clock::time_point ingest_start_{};
   std::uint64_t ingest_events_ = 0;
+
+  // Live-telemetry watermarks (docs/OBSERVABILITY.md). `injected_events_`
+  // counts topology/init events the *main thread* injected directly
+  // (inject_edge / inject_init), bumped with release order AFTER the
+  // matching in-flight increment so a sampler that sees the count also
+  // sees the in-flight message. The converged watermark is advanced by
+  // observers (sample_gauges) via CAS-max when they see the system
+  // quiescent; `converged_ns_` timestamps the advance for staleness.
+  std::atomic<std::uint64_t> injected_events_{0};
+  mutable std::atomic<std::uint64_t> converged_events_{0};
+  mutable std::atomic<std::uint64_t> converged_ns_{0};
 
   // Observability: trace timestamp origin + the main thread's own track.
   std::uint64_t trace_base_ns_ = 0;

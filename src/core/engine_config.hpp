@@ -1,6 +1,7 @@
 // Engine configuration.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 #include "common/types.hpp"
@@ -54,6 +55,16 @@ struct EngineConfig {
   /// Observability: latency histograms, phase timers, chrome-trace capture
   /// (docs/OBSERVABILITY.md).
   obs::ObsConfig obs{};
+
+  /// Test-only fault injection. `park_rank_while` points at a flag owned by
+  /// the test; while it is true, rank `park_rank` spins without processing
+  /// its mailbox — simulating a wedged rank so the stall watchdog can be
+  /// exercised deterministically. Never set in production configurations.
+  struct DebugHooks {
+    const std::atomic<bool>* park_rank_while = nullptr;
+    RankId park_rank = 0;
+  };
+  DebugHooks debug{};
 };
 
 }  // namespace remo

@@ -13,6 +13,7 @@
 #include "core/query.hpp"
 #include "core/snapshot.hpp"
 #include "gen/stream.hpp"
+#include "obs/gauges.hpp"
 #include "obs/histogram.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
@@ -60,13 +61,14 @@ struct RankRuntime {
 
   DegAwareStore store;
   std::vector<ProgramRank> progs;
-  RankMetrics metrics;
+  LiveRankMetrics metrics;
 
-  // Observability (src/obs). Histogram/timers are single-writer (this
-  // rank's thread) with relaxed-atomic cells so metrics_snapshot() can read
-  // concurrently; the trace ring must only be exported at quiescence. The
-  // cached config bools keep the hot path at one branch when a facility is
-  // off.
+  // Observability (src/obs). Counters/histogram/timers are single-writer
+  // (this rank's thread) with relaxed-atomic cells so metrics_snapshot()
+  // and sample_gauges() can read concurrently; the trace ring must only be
+  // exported at quiescence. The cached config bools keep the hot path at
+  // one branch when a facility is off.
+  obs::RankGauges gauges;
   obs::LatencyHistogram update_latency;
   obs::PhaseTimers phases;
   std::unique_ptr<obs::TraceBuffer> trace;  // null unless tracing enabled

@@ -397,6 +397,14 @@ void Engine::rank_main(RankId r) {
   const bool obs_time = rt.obs_phases || trace != nullptr;
   const bool obs_latency = rt.obs_latency;
 
+  // Test-only fault injection: while the hook flag is up, this rank spins
+  // without touching its mailbox — a deterministic "wedged rank" for the
+  // stall-watchdog tests. Null in every production configuration.
+  const std::atomic<bool>* const park_hook =
+      (cfg_.debug.park_rank_while && cfg_.debug.park_rank == r)
+          ? cfg_.debug.park_rank_while
+          : nullptr;
+
   // Apply one visitor; topology events (the stream's unit of work) are
   // sampled into the per-update latency histogram.
   const auto process_one = [&](const Visitor& v) {
@@ -412,6 +420,10 @@ void Engine::rank_main(RankId r) {
   };
 
   while (!shutdown_.load(std::memory_order_acquire)) {
+    if (park_hook && park_hook->load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
     if (cfg_.chaos_delay_us != 0) {
       // Chaos mode: random per-iteration delays widen the interleaving
       // space the correctness tests explore.
@@ -482,11 +494,21 @@ void Engine::rank_main(RankId r) {
         did_work = true;
         if (part_.owner(e.src) == r) {
           comm_.note_injected(iter_epoch);
+          // Ingest-watermark bump AFTER the in-flight increment (release
+          // store): a gauge sampler that sees the count also sees the
+          // event as in flight or applied — never as missing. Single
+          // writer, so load+store is a plain increment on x86.
+          rt.gauges.events_ingested.store(
+              rt.gauges.events_ingested.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
           rt.stream_remaining.fetch_sub(1, std::memory_order_release);
           process_one(vis);
           comm_.note_processed(iter_epoch);
         } else {
-          rt.send(vis);
+          rt.send(vis);  // Comm::send counts it in flight first
+          rt.gauges.events_ingested.store(
+              rt.gauges.events_ingested.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
           rt.stream_remaining.fetch_sub(1, std::memory_order_release);
         }
       }
@@ -503,14 +525,22 @@ void Engine::rank_main(RankId r) {
 
     // 3) Locally passive: flush, circulate termination tokens, park.
     comm_.flush(r);
-    if (cfg_.termination == TerminationMode::kSafra) {
-      const bool stream_passive =
-          rt.stream_remaining.load(std::memory_order_relaxed) == 0 ||
-          streams_paused_.load(std::memory_order_acquire);
-      if (stream_passive && comm_.mailbox(r).empty() && !comm_.local_pending(r))
-        handle_safra_idle(rt);
+    const bool stream_passive =
+        rt.stream_remaining.load(std::memory_order_relaxed) == 0 ||
+        streams_paused_.load(std::memory_order_acquire);
+    const bool locally_passive =
+        stream_passive && comm_.mailbox(r).empty() && !comm_.local_pending(r);
+    if (locally_passive) {
+      // Per-rank convergence watermark: everything this rank has applied is
+      // settled from its own point of view at this instant.
+      rt.gauges.converged_through.store(rt.metrics.topology_events.load(),
+                                        std::memory_order_relaxed);
+      rt.gauges.last_passive_ns.store(obs_now(), std::memory_order_relaxed);
+      if (cfg_.termination == TerminationMode::kSafra) handle_safra_idle(rt);
     }
+    rt.gauges.idle.store(true, std::memory_order_relaxed);
     comm_.mailbox(r).wait(kParkInterval);
+    rt.gauges.idle.store(false, std::memory_order_relaxed);
     if (rt.obs_phases) rt.phases.add(obs::Phase::kQuiesce, obs_now() - iter_t0);
   }
 }

@@ -1,0 +1,91 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace remo::obs {
+
+MetricsExporter::MetricsExporter(Sampler sampler, Config cfg)
+    : sampler_(std::move(sampler)), cfg_(std::move(cfg)) {
+  if (cfg_.format == Format::kJsonl) {
+    if (cfg_.path == "-" || cfg_.path.empty()) {
+      out_ = stdout;
+    } else {
+      out_ = std::fopen(cfg_.path.c_str(), "w");
+      owns_file_ = true;
+    }
+  }
+  // Prometheus mode reopens the file each tick; nothing to hold here.
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;  // first caller owns the join
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (owns_file_ && out_) {
+    std::fclose(out_);
+    out_ = nullptr;
+    owns_file_ = false;
+  }
+}
+
+std::uint64_t MetricsExporter::samples() const noexcept {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+GaugeSample MetricsExporter::last_sample() const {
+  std::lock_guard lock(mutex_);
+  return last_;
+}
+
+void MetricsExporter::emit(const GaugeSample& s) {
+  if (cfg_.format == Format::kJsonl) {
+    if (!out_) return;
+    const std::string line = s.to_json().dump();
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    return;
+  }
+  // Prometheus text exposition: write a fresh file and move it into place
+  // so scrapers never observe a half-written exposition.
+  const std::string tmp = cfg_.path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return;
+  const std::string text = s.to_prometheus();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::rename(tmp.c_str(), cfg_.path.c_str());
+}
+
+void MetricsExporter::run() {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait_for(lock, cfg_.period, [this] { return stopping_; });
+      if (stopping_) break;
+    }
+    GaugeSample s = sampler_();
+    emit(s);
+    std::lock_guard lock(mutex_);
+    ++samples_;
+    last_ = std::move(s);
+  }
+  if (cfg_.final_sample) {
+    GaugeSample s = sampler_();
+    emit(s);
+    std::lock_guard lock(mutex_);
+    ++samples_;
+    last_ = std::move(s);
+  }
+}
+
+}  // namespace remo::obs

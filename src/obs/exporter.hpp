@@ -1,0 +1,82 @@
+// MetricsExporter: a background thread that snapshots the live gauges on a
+// fixed period and emits them to a file — JSONL flight-recorder records
+// (one "remo-gauges-1" object per line) or Prometheus text exposition
+// (the file is rewritten atomically-enough each period, node-exporter
+// textfile-collector style).
+//
+// The exporter is deliberately decoupled from the engine: it takes a
+// sampler callback (`[&engine] { return engine.sample_gauges(); }`), so it
+// can be unit-tested against scripted samples and attached to anything
+// that produces GaugeSamples. Sampling cost is a few dozen relaxed loads —
+// the engine's hot path is never touched.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/gauges.hpp"
+
+namespace remo::obs {
+
+class MetricsExporter {
+ public:
+  enum class Format {
+    kJsonl,       ///< append one JSON object per sample
+    kPrometheus,  ///< rewrite the file with text exposition each sample
+  };
+
+  struct Config {
+    std::chrono::milliseconds period{100};
+    Format format = Format::kJsonl;
+    /// Output file; "-" streams JSONL records to stdout.
+    std::string path;
+    /// Take one final sample when stop() / the destructor runs, so short
+    /// runs always leave at least one record.
+    bool final_sample = true;
+  };
+
+  using Sampler = std::function<GaugeSample()>;
+
+  /// Starts the sampling thread immediately.
+  MetricsExporter(Sampler sampler, Config cfg);
+
+  /// Stops and joins (idempotent).
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Stop sampling, flush the final sample (if configured), join.
+  void stop();
+
+  /// Samples emitted so far.
+  std::uint64_t samples() const noexcept;
+
+  /// Copy of the most recent sample (default-constructed before the first
+  /// tick).
+  GaugeSample last_sample() const;
+
+ private:
+  void run();
+  void emit(const GaugeSample& s);
+
+  Sampler sampler_;
+  Config cfg_;
+  std::FILE* out_ = nullptr;
+  bool owns_file_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t samples_ = 0;
+  GaugeSample last_;
+
+  std::thread thread_;
+};
+
+}  // namespace remo::obs

@@ -1,0 +1,151 @@
+#include "obs/gauges.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace remo::obs {
+
+Json GaugeSample::to_json(bool include_per_rank) const {
+  Json j = Json::object();
+  j["schema"] = "remo-gauges-1";
+  j["ts_ns"] = sample_ns;
+  j["events_ingested"] = events_ingested;
+  j["events_applied"] = events_applied;
+  j["converged_through"] = converged_through;
+  j["convergence_lag_events"] = convergence_lag_events;
+  j["staleness_ns"] = staleness_ns;
+  j["in_flight"] = in_flight;
+  j["queue_depth"] = queue_depth;
+  j["idle_ranks"] = idle_ranks;
+  j["idle_ratio"] = idle_ratio;
+  j["quiescent"] = quiescent;
+  Json det = Json::object();
+  det["mode"] = safra_mode ? "safra" : "counting";
+  if (safra_mode) {
+    det["generation"] = safra_generation;
+    det["probe_rounds"] = safra_probe_rounds;
+    det["probe_active"] = safra_probe_active;
+    det["terminated"] = safra_terminated;
+  }
+  j["termination"] = std::move(det);
+  if (include_per_rank) {
+    Json ranks = Json::array();
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      const RankGaugeSample& g = per_rank[r];
+      Json jr = Json::object();
+      jr["rank"] = r;
+      jr["queue_depth"] = g.queue_depth;
+      jr["events_ingested"] = g.events_ingested;
+      jr["events_applied"] = g.events_applied;
+      jr["converged_through"] = g.converged_through;
+      jr["staleness_ns"] = g.staleness_ns;
+      jr["idle"] = g.idle;
+      if (g.trace_emitted) jr["trace_emitted"] = g.trace_emitted;
+      ranks.push_back(std::move(jr));
+    }
+    j["per_rank"] = std::move(ranks);
+  }
+  return j;
+}
+
+namespace {
+
+void prom_header(std::string& out, const char* name, const char* help,
+                 const char* type) {
+  out += strfmt("# HELP %s %s\n", name, help);
+  out += strfmt("# TYPE %s %s\n", name, type);
+}
+
+void prom_value(std::string& out, const char* name, std::uint64_t v) {
+  out += strfmt("%s %llu\n", name, static_cast<unsigned long long>(v));
+}
+
+void prom_rank_value(std::string& out, const char* name, std::size_t rank,
+                     std::uint64_t v) {
+  out += strfmt("%s{rank=\"%zu\"} %llu\n", name, rank,
+                static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+std::string GaugeSample::to_prometheus() const {
+  std::string out;
+  prom_header(out, "remo_events_ingested_total",
+              "Topology events accepted into the system", "counter");
+  prom_value(out, "remo_events_ingested_total", events_ingested);
+  prom_header(out, "remo_events_applied_total",
+              "Topology events applied (store mutation + local callbacks)",
+              "counter");
+  prom_value(out, "remo_events_applied_total", events_applied);
+  prom_header(out, "remo_converged_through",
+              "Ingested-event watermark through which state is converged",
+              "gauge");
+  prom_value(out, "remo_converged_through", converged_through);
+  prom_header(out, "remo_convergence_lag_events",
+              "Events ingested but not yet reflected in converged state",
+              "gauge");
+  prom_value(out, "remo_convergence_lag_events", convergence_lag_events);
+  prom_header(out, "remo_staleness_seconds",
+              "Wall-clock age of the converged watermark (0 when caught up)",
+              "gauge");
+  out += strfmt("remo_staleness_seconds %.9f\n",
+                static_cast<double>(staleness_ns) / 1e9);
+  prom_header(out, "remo_in_flight_messages",
+              "Basic visitors injected but not fully processed", "gauge");
+  out += strfmt("remo_in_flight_messages %lld\n",
+                static_cast<long long>(in_flight));
+  prom_header(out, "remo_idle_ranks", "Ranks currently parked waiting for work",
+              "gauge");
+  prom_value(out, "remo_idle_ranks", idle_ranks);
+  prom_header(out, "remo_termination_probe_rounds_total",
+              "Safra token circuits completed (0 in counting mode)", "counter");
+  prom_value(out, "remo_termination_probe_rounds_total", safra_probe_rounds);
+  prom_header(out, "remo_queue_depth",
+              "Undrained ingress visitors (mailbox + loop-back)", "gauge");
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    prom_rank_value(out, "remo_queue_depth", r, per_rank[r].queue_depth);
+  prom_header(out, "remo_rank_events_applied_total",
+              "Topology events applied by each rank", "counter");
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    prom_rank_value(out, "remo_rank_events_applied_total", r,
+                    per_rank[r].events_applied);
+  prom_header(out, "remo_rank_idle", "1 while the rank is parked", "gauge");
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    prom_rank_value(out, "remo_rank_idle", r, per_rank[r].idle ? 1 : 0);
+  return out;
+}
+
+namespace {
+
+std::string ns_short(std::uint64_t ns) {
+  if (ns >= 10'000'000'000ull)
+    return strfmt("%.0fs", static_cast<double>(ns) / 1e9);
+  if (ns >= 1'000'000'000ull)
+    return strfmt("%.1fs", static_cast<double>(ns) / 1e9);
+  if (ns >= 1'000'000ull) return strfmt("%.0fms", static_cast<double>(ns) / 1e6);
+  if (ns >= 1'000ull) return strfmt("%.0fus", static_cast<double>(ns) / 1e3);
+  return strfmt("%lluns", static_cast<unsigned long long>(ns));
+}
+
+}  // namespace
+
+std::string GaugeSample::watch_view() const {
+  std::string out;
+  out += strfmt(
+      "t=%-8s ingested %s  applied %s  lag %s ev / %s  in-flight %lld  idle "
+      "%u/%zu%s\n",
+      ns_short(sample_ns).c_str(), with_commas(events_ingested).c_str(),
+      with_commas(events_applied).c_str(),
+      with_commas(convergence_lag_events).c_str(),
+      ns_short(staleness_ns).c_str(), static_cast<long long>(in_flight),
+      idle_ranks, per_rank.size(), quiescent ? "  [quiescent]" : "");
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const RankGaugeSample& g = per_rank[r];
+    out += strfmt("  rank %-3zu %-5s queue %-9s applied %-12s stale %s\n", r,
+                  g.idle ? "idle" : "busy", with_commas(g.queue_depth).c_str(),
+                  with_commas(g.events_applied).c_str(),
+                  ns_short(g.staleness_ns).c_str());
+  }
+  return out;
+}
+
+}  // namespace remo::obs

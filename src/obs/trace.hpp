@@ -19,6 +19,8 @@
 // https://ui.perfetto.dev.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -53,23 +55,47 @@ class TraceBuffer {
       (void)name, (void)ts_ns, (void)dur_ns, (void)arg_name, (void)arg_value;
       return;
     }
-    const std::uint64_t seq = next_;
+    const std::uint64_t seq = next_.load(std::memory_order_relaxed);
     ring_[seq % ring_.size()] = TraceEvent{name, arg_name, ts_ns, dur_ns, arg_value};
-    next_ = seq + 1;
+    next_.store(seq + 1, std::memory_order_release);
   }
 
   std::size_t capacity() const noexcept { return ring_.size(); }
-  std::uint64_t emitted() const noexcept { return next_; }
+
+  /// Total events emitted over the buffer's lifetime. Readable by any
+  /// thread at any time (single writer, atomic sequence).
+  std::uint64_t emitted() const noexcept {
+    return next_.load(std::memory_order_acquire);
+  }
+
   std::uint64_t dropped() const noexcept {
-    return next_ > ring_.size() ? next_ - ring_.size() : 0;
+    const std::uint64_t n = emitted();
+    return n > ring_.size() ? n - ring_.size() : 0;
   }
 
   /// Copy out the retained window in chronological order. Call only while
   /// the writer is quiescent (the engine exports traces at quiescence).
   std::vector<TraceEvent> events() const {
     std::vector<TraceEvent> out;
-    const std::uint64_t n = next_;
+    const std::uint64_t n = emitted();
     const std::uint64_t first = n > ring_.size() ? n - ring_.size() : 0;
+    out.reserve(static_cast<std::size_t>(n - first));
+    for (std::uint64_t seq = first; seq < n; ++seq)
+      out.push_back(ring_[seq % ring_.size()]);
+    return out;
+  }
+
+  /// Best-effort copy of the newest `max_events` slices, for the stall
+  /// watchdog's diagnostic dump. Unlike events(), this may be called while
+  /// the writer is live — but it is only coherent when the writer has gone
+  /// quiet (the flagged rank in a stall dump is, by definition, the rank
+  /// that has stopped emitting). Slices being overwritten mid-copy can
+  /// come out mixed; never use for the quiescent export path.
+  std::vector<TraceEvent> recent_events(std::size_t max_events) const {
+    const std::uint64_t n = emitted();
+    const std::uint64_t window = std::min<std::uint64_t>(ring_.size(), n);
+    const std::uint64_t first = n - std::min<std::uint64_t>(window, max_events);
+    std::vector<TraceEvent> out;
     out.reserve(static_cast<std::size_t>(n - first));
     for (std::uint64_t seq = first; seq < n; ++seq)
       out.push_back(ring_[seq % ring_.size()]);
@@ -78,7 +104,7 @@ class TraceBuffer {
 
  private:
   std::vector<TraceEvent> ring_;
-  std::uint64_t next_ = 0;
+  std::atomic<std::uint64_t> next_{0};
 };
 
 /// One exported track: a label and the buffer's retained events.

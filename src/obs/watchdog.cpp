@@ -1,0 +1,146 @@
+#include "obs/watchdog.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/strfmt.hpp"
+
+namespace remo::obs {
+
+StallWatchdog::StallWatchdog(Sampler sampler, Config cfg, OnStall on_stall)
+    : sampler_(std::move(sampler)),
+      cfg_(std::move(cfg)),
+      on_stall_(std::move(on_stall)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+StallWatchdog::~StallWatchdog() { stop(); }
+
+void StallWatchdog::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool StallWatchdog::rank_flagged(std::uint32_t r) const {
+  std::lock_guard lock(mutex_);
+  return r < watch_.size() && watch_[r].flagged;
+}
+
+std::string StallWatchdog::format_dump(const GaugeSample& s, std::uint32_t rank,
+                                       std::uint32_t periods) {
+  std::string out;
+  out += strfmt(
+      "=== remo stall watchdog: rank %u made no progress for %u sampling "
+      "periods with backlog ===\n",
+      rank, periods);
+  out += strfmt(
+      "watermarks: ingested %s, applied %s, converged_through %s, lag %s "
+      "events, staleness %.3f s\n",
+      with_commas(s.events_ingested).c_str(),
+      with_commas(s.events_applied).c_str(),
+      with_commas(s.converged_through).c_str(),
+      with_commas(s.convergence_lag_events).c_str(),
+      static_cast<double>(s.staleness_ns) / 1e9);
+  out += strfmt("in-flight %lld, total queue depth %s, idle ranks %u/%zu\n",
+                static_cast<long long>(s.in_flight),
+                with_commas(s.queue_depth).c_str(), s.idle_ranks,
+                s.per_rank.size());
+  if (s.safra_mode) {
+    out += strfmt(
+        "termination: safra generation %llu, %llu probe rounds, probe %s, "
+        "terminated=%d\n",
+        static_cast<unsigned long long>(s.safra_generation),
+        static_cast<unsigned long long>(s.safra_probe_rounds),
+        s.safra_probe_active ? "circulating" : "idle",
+        s.safra_terminated ? 1 : 0);
+  } else {
+    out += "termination: counting detector\n";
+  }
+  for (std::size_t r = 0; r < s.per_rank.size(); ++r) {
+    const RankGaugeSample& g = s.per_rank[r];
+    out += strfmt(
+        "  rank %-3zu%s %-5s queue %-9s ingested %-12s applied %-12s stale "
+        "%.3f s\n",
+        r, r == rank ? " <<<" : "    ", g.idle ? "idle" : "busy",
+        with_commas(g.queue_depth).c_str(),
+        with_commas(g.events_ingested).c_str(),
+        with_commas(g.events_applied).c_str(),
+        static_cast<double>(g.staleness_ns) / 1e9);
+  }
+  return out;
+}
+
+void StallWatchdog::deliver(const Report& r) {
+  if (on_stall_) {
+    on_stall_(r);
+    return;
+  }
+  if (!cfg_.dump_path.empty()) {
+    if (std::FILE* f = std::fopen(cfg_.dump_path.c_str(), "a")) {
+      std::fwrite(r.dump.data(), 1, r.dump.size(), f);
+      std::fclose(f);
+      return;
+    }
+  }
+  std::fwrite(r.dump.data(), 1, r.dump.size(), stderr);
+}
+
+void StallWatchdog::check(const GaugeSample& s) {
+  std::vector<Report> reports;
+  {
+    std::lock_guard lock(mutex_);
+    watch_.resize(s.per_rank.size());
+    for (std::size_t r = 0; r < s.per_rank.size(); ++r) {
+      const RankGaugeSample& g = s.per_rank[r];
+      RankWatch& w = watch_[r];
+      const bool progressed = g.events_applied != w.last_applied;
+      w.last_applied = g.events_applied;
+      if (progressed || g.queue_depth == 0) {
+        w.no_progress = 0;
+        if (w.flagged && progressed) {
+          w.flagged = false;
+          Report rep;
+          rep.rank = static_cast<std::uint32_t>(r);
+          rep.recovered = true;
+          rep.sample = s;
+          rep.dump = strfmt("=== remo stall watchdog: rank %zu recovered ===\n", r);
+          reports.push_back(std::move(rep));
+        }
+        continue;
+      }
+      ++w.no_progress;
+      if (w.no_progress >= cfg_.stall_periods && !w.flagged) {
+        w.flagged = true;
+        Report rep;
+        rep.rank = static_cast<std::uint32_t>(r);
+        rep.periods = w.no_progress;
+        rep.sample = s;
+        rep.dump = format_dump(s, rep.rank, rep.periods);
+        if (cfg_.extra_dump) rep.dump += cfg_.extra_dump(rep.rank);
+        reports.push_back(std::move(rep));
+      }
+    }
+  }
+  for (const Report& rep : reports) {
+    if (!rep.recovered) stalls_.fetch_add(1, std::memory_order_acq_rel);
+    deliver(rep);
+  }
+}
+
+void StallWatchdog::run() {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait_for(lock, cfg_.period, [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    check(sampler_());
+  }
+}
+
+}  // namespace remo::obs

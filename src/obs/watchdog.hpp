@@ -1,0 +1,103 @@
+// StallWatchdog: flags ranks that have backlog but make no progress.
+//
+// Built on the same GaugeSamples as the exporter: every period it compares
+// each rank's applied-event counter against the previous sample. A rank
+// whose queue depth is nonzero while its applied counter has not advanced
+// for `stall_periods` consecutive samples is flagged, and a diagnostic
+// dump (the full gauge sample, per-rank queue depths, detector state, plus
+// whatever the `extra_dump` hook supplies — the engine wires its stall
+// dump with the flagged rank's recent trace events) is written instead of
+// the system hanging silently. A flagged rank that advances again is
+// unflagged, and a recovery line is logged.
+//
+// Like the exporter, the watchdog is sampler-driven and engine-agnostic,
+// so detection logic is unit-testable against scripted samples.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/gauges.hpp"
+
+namespace remo::obs {
+
+class StallWatchdog {
+ public:
+  struct Config {
+    std::chrono::milliseconds period{100};
+    /// Consecutive no-progress samples (with backlog) before flagging.
+    std::uint32_t stall_periods = 3;
+    /// Diagnostic dump destination; empty = stderr.
+    std::string dump_path;
+    /// Optional extra diagnostics appended to the dump (e.g. the engine's
+    /// stall_dump(rank) with recent trace events).
+    std::function<std::string(std::uint32_t /*rank*/)> extra_dump;
+  };
+
+  struct Report {
+    std::uint32_t rank = 0;
+    std::uint32_t periods = 0;  ///< no-progress periods when flagged
+    bool recovered = false;     ///< true for the recovery notification
+    GaugeSample sample;         ///< the sample that triggered the report
+    std::string dump;           ///< the rendered diagnostic text
+  };
+
+  using Sampler = std::function<GaugeSample()>;
+  using OnStall = std::function<void(const Report&)>;
+
+  /// Starts the sampling thread. When `on_stall` is empty the dump is
+  /// written to `dump_path` (or stderr); a callback receives the report
+  /// instead and owns delivery.
+  StallWatchdog(Sampler sampler, Config cfg, OnStall on_stall = {});
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  void stop();
+
+  /// Stall reports produced so far (recoveries not counted).
+  std::uint64_t stalls_detected() const noexcept {
+    return stalls_.load(std::memory_order_acquire);
+  }
+
+  /// True while rank `r` is currently flagged.
+  bool rank_flagged(std::uint32_t r) const;
+
+  /// Render the human-readable diagnostic dump for a stalled rank (exposed
+  /// for tests and for hosts that deliver reports themselves).
+  static std::string format_dump(const GaugeSample& s, std::uint32_t rank,
+                                 std::uint32_t periods);
+
+ private:
+  struct RankWatch {
+    std::uint64_t last_applied = 0;
+    std::uint32_t no_progress = 0;
+    bool flagged = false;
+  };
+
+  void run();
+  void check(const GaugeSample& s);
+  void deliver(const Report& r);
+
+  Sampler sampler_;
+  Config cfg_;
+  OnStall on_stall_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::vector<RankWatch> watch_;
+  std::atomic<std::uint64_t> stalls_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace remo::obs

@@ -55,7 +55,9 @@ class Comm {
   void send(RankId from, RankId to, const Visitor& v) {
     if (v.kind != VisitKind::kControl) note_injected(v.epoch);
     if (from == to) {
-      ranks_[from]->local.push_back(v);
+      auto& pr = *ranks_[from];
+      pr.local.push_back(v);
+      pr.local_depth.store(pr.local.size(), std::memory_order_relaxed);
       return;
     }
     auto& buf = ranks_[from]->out[to];
@@ -72,11 +74,20 @@ class Comm {
     if (pr.local.empty()) return from_box;
     out.insert(out.end(), pr.local.begin(), pr.local.end());
     pr.local.clear();
+    pr.local_depth.store(0, std::memory_order_relaxed);
     return true;
   }
 
   /// True when rank `r` has undrained loop-back visitors. Owning thread only.
   bool local_pending(RankId r) const noexcept { return !ranks_[r]->local.empty(); }
+
+  /// Ingress backlog of rank `r` — undrained mailbox visitors plus the
+  /// loop-back queue — readable by any thread without locks (the per-rank
+  /// queue-depth gauge; values are slightly stale, never torn).
+  std::size_t queue_depth(RankId r) const noexcept {
+    const auto& pr = *ranks_[r];
+    return pr.box.approx_depth() + pr.local_depth.load(std::memory_order_relaxed);
+  }
 
   /// Push all of rank `from`'s buffered visitors to their mailboxes.
   void flush(RankId from) {
@@ -120,6 +131,7 @@ class Comm {
     Mailbox box;
     std::vector<std::vector<Visitor>> out;  // per-destination send buffers
     std::vector<Visitor> local;  // loop-back queue (owning thread only)
+    std::atomic<std::size_t> local_depth{0};  // local.size(), lock-free gauge
   };
 
   void flush_one(RankId from, RankId to) {

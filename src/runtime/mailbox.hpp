@@ -8,6 +8,7 @@
 // undirected-edge serialisation argument relies on (Section III-C).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <span>
@@ -25,6 +26,7 @@ class Mailbox {
     {
       std::lock_guard lock(mutex_);
       pending_.insert(pending_.end(), batch.begin(), batch.end());
+      depth_.store(pending_.size(), std::memory_order_relaxed);
     }
     cv_.notify_one();
   }
@@ -38,7 +40,15 @@ class Mailbox {
     std::lock_guard lock(mutex_);
     if (pending_.empty()) return false;
     out.swap(pending_);
+    depth_.store(0, std::memory_order_relaxed);
     return true;
+  }
+
+  /// Undrained visitor count, readable by any thread without taking the
+  /// mailbox mutex (the queue-depth gauge). The store always happens under
+  /// the mutex, so the value is never torn — merely slightly stale.
+  std::size_t approx_depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
   }
 
   bool empty() const {
@@ -64,6 +74,7 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<Visitor> pending_;
+  std::atomic<std::size_t> depth_{0};  // pending_.size(), lock-free gauge
 };
 
 }  // namespace remo

@@ -1,12 +1,51 @@
 // Per-rank counters, cache-line padded, aggregated by the harness.
+//
+// Two forms: `LiveRankMetrics` is the recording side living inside each
+// rank's runtime — single-writer relaxed-atomic cells so the main thread
+// (metrics_snapshot, gauge sampling, the metrics exporter) can read them
+// at any time without stopping the engine. `RankMetrics` is the plain
+// value snapshot the aggregation and JSON layers consume.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace remo {
 
-struct alignas(64) RankMetrics {
+/// Single-writer monotone counter with racy-read support. The owner
+/// increments with plain load+store pairs (relaxed, no lock prefix — on
+/// x86 this compiles to the same `inc` a plain uint64 would); any other
+/// thread may `load()` concurrently and sees some recent value. This is
+/// the documented relaxed-read semantics of `Engine::metrics_snapshot()`:
+/// per-cell values are monotone and never torn, but cells read in one
+/// snapshot may lag each other by in-flight work.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter&) = delete;
+  RelaxedCounter& operator=(const RelaxedCounter&) = delete;
+
+  /// Writer side (owning thread only).
+  void operator++() noexcept { add(1); }
+  void operator--() noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) - 1, std::memory_order_relaxed);
+  }
+  void add(std::uint64_t d) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+  /// Reader side (any thread).
+  std::uint64_t load() const noexcept { return v_.load(std::memory_order_relaxed); }
+  operator std::uint64_t() const noexcept { return load(); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Plain value form of one rank's counters (snapshots, aggregation, JSON).
+struct RankMetrics {
   std::uint64_t topology_events = 0;   ///< stream events ingested by this rank
   std::uint64_t algorithm_events = 0;  ///< visitor callbacks executed
   std::uint64_t messages_sent = 0;     ///< visitors sent (local + remote)
@@ -14,6 +53,31 @@ struct alignas(64) RankMetrics {
   std::uint64_t local_messages = 0;    ///< self-sends (loop-back fast path)
   std::uint64_t edges_stored = 0;      ///< directed edges resident
   std::uint64_t control_messages = 0;  ///< termination tokens, markers
+};
+
+/// Recording side: same fields as RankMetrics, as RelaxedCounter cells.
+/// Written only by the owning rank's thread; readable by any thread.
+struct alignas(64) LiveRankMetrics {
+  RelaxedCounter topology_events;
+  RelaxedCounter algorithm_events;
+  RelaxedCounter messages_sent;
+  RelaxedCounter remote_messages;
+  RelaxedCounter local_messages;
+  RelaxedCounter edges_stored;
+  RelaxedCounter control_messages;
+
+  /// Racy-read value copy (see RelaxedCounter for the semantics).
+  RankMetrics snapshot() const noexcept {
+    RankMetrics s;
+    s.topology_events = topology_events.load();
+    s.algorithm_events = algorithm_events.load();
+    s.messages_sent = messages_sent.load();
+    s.remote_messages = remote_messages.load();
+    s.local_messages = local_messages.load();
+    s.edges_stored = edges_stored.load();
+    s.control_messages = control_messages.load();
+    return s;
+  }
 };
 
 struct MetricsSummary {

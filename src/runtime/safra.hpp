@@ -81,6 +81,7 @@ class SafraRing {
       return TokenAction::kForward;
     }
     // Rank 0: conclude or restart.
+    probe_rounds_.fetch_add(1, std::memory_order_relaxed);
     const bool white_rank = !s.black.load(std::memory_order_relaxed);
     const std::int64_t total = token.count + s.count.load(std::memory_order_relaxed);
     if (!token.black && white_rank && total == 0) {
@@ -112,6 +113,18 @@ class SafraRing {
     return generation_.load(std::memory_order_acquire);
   }
 
+  /// Completed token circuits (the token returned to rank 0). A live view
+  /// of detector progress: a growing round count with `terminated()` false
+  /// means probes keep finding in-flight work.
+  std::uint64_t probe_rounds() const noexcept {
+    return probe_rounds_.load(std::memory_order_relaxed);
+  }
+
+  /// True while a token is circulating (readable by any thread).
+  bool probe_active() const noexcept {
+    return probe_active_.load(std::memory_order_acquire);
+  }
+
   /// Full reset: only safe when no basic messages are in flight.
   void reset() noexcept {
     rearm();
@@ -131,6 +144,7 @@ class SafraRing {
   std::atomic<bool> probe_active_{false};
   std::atomic<bool> terminated_{false};
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> probe_rounds_{0};
 };
 
 }  // namespace remo

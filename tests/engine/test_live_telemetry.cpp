@@ -1,0 +1,250 @@
+// Live telemetry: watermarks & convergence lag, queue-depth gauges, the
+// periodic exporter, and the stall watchdog — all sampled from a running
+// engine (docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+EdgeList telemetry_edges(std::uint32_t scale = 10) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = 5;
+  return generate_rmat(p);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(LiveTelemetry, WatermarksConvergeAtQuiescence) {
+  const EdgeList edges = telemetry_edges();
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(edges.front().src);
+  engine.inject_init(id, edges.front().src);
+  const IngestStats stats =
+      engine.ingest(make_streams(edges, 2, StreamOptions{.seed = 3}));
+
+  const obs::GaugeSample s = engine.sample_gauges();
+  EXPECT_TRUE(s.quiescent);
+  EXPECT_EQ(s.in_flight, 0);
+  EXPECT_EQ(s.queue_depth, 0u);
+  // Every stream event was counted at the pull site and applied at its
+  // owner; the observer-advanced watermark caught up in the same sample.
+  EXPECT_EQ(s.events_ingested, stats.events);
+  EXPECT_EQ(s.events_applied, s.events_ingested);
+  EXPECT_EQ(s.converged_through, s.events_ingested);
+  EXPECT_EQ(s.convergence_lag_events, 0u);
+  EXPECT_EQ(s.staleness_ns, 0u);
+  ASSERT_EQ(s.per_rank.size(), 2u);
+  std::uint64_t per_rank_ingested = 0, per_rank_applied = 0;
+  for (const auto& g : s.per_rank) {
+    EXPECT_EQ(g.queue_depth, 0u);
+    per_rank_ingested += g.events_ingested;
+    per_rank_applied += g.events_applied;
+  }
+  EXPECT_EQ(per_rank_ingested, s.events_ingested);
+  EXPECT_EQ(per_rank_applied, s.events_applied);
+  EXPECT_FALSE(s.safra_mode);
+}
+
+TEST(LiveTelemetry, InjectedEdgesAdvanceTheIngestWatermark) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  for (const Edge& e : small_graph())
+    engine.inject_edge(EdgeEvent{e.src, e.dst, e.weight, EdgeOp::kAdd});
+  engine.drain();
+  const obs::GaugeSample s = engine.sample_gauges();
+  EXPECT_EQ(s.events_ingested, small_graph().size());
+  EXPECT_EQ(s.events_applied, small_graph().size());
+  EXPECT_EQ(s.convergence_lag_events, 0u);
+  EXPECT_TRUE(s.quiescent);
+}
+
+TEST(LiveTelemetry, SafraDetectorStateIsReported) {
+  const EdgeList edges = telemetry_edges(8);
+  EngineConfig cfg{.num_ranks = 2};
+  cfg.termination = TerminationMode::kSafra;
+  Engine engine(cfg);
+  engine.ingest(make_streams(edges, 2, StreamOptions{.seed = 3}));
+  const obs::GaugeSample s = engine.sample_gauges();
+  EXPECT_TRUE(s.safra_mode);
+  EXPECT_TRUE(s.safra_terminated);
+  EXPECT_GT(s.safra_probe_rounds, 0u);
+  EXPECT_EQ(s.convergence_lag_events, 0u);
+}
+
+// Satellite of the PR's concurrency fix: metrics_snapshot() and
+// sample_gauges() hammered from another thread while the event loop runs.
+// Every cell is a single-writer atomic, so concurrent reads must be safe
+// (TSan-clean) and each counter individually monotone across samples.
+TEST(LiveTelemetry, SnapshotsAreSafeConcurrentWithIngest) {
+  const EdgeList edges = telemetry_edges();
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(edges.front().src);
+  engine.inject_init(id, edges.front().src);
+
+  std::atomic<bool> stop{false};
+  std::uint64_t hammered = 0;
+  std::thread hammer([&] {
+    std::uint64_t prev_ingested = 0, prev_topo = 0, prev_sent = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::GaugeSample g = engine.sample_gauges();
+      EXPECT_GE(g.events_ingested, prev_ingested);
+      EXPECT_GE(g.events_ingested, g.converged_through);
+      EXPECT_EQ(g.convergence_lag_events,
+                g.events_ingested - g.converged_through);
+      prev_ingested = g.events_ingested;
+
+      const obs::MetricsSnapshot m = engine.metrics_snapshot();
+      EXPECT_GE(m.counters.topology_events, prev_topo);
+      EXPECT_GE(m.counters.messages_sent, prev_sent);
+      prev_topo = m.counters.topology_events;
+      prev_sent = m.counters.messages_sent;
+      ++hammered;
+    }
+  });
+
+  const IngestStats stats =
+      engine.ingest(make_streams(edges, 2, StreamOptions{.seed = 3}));
+  stop.store(true, std::memory_order_release);
+  hammer.join();
+  EXPECT_GT(hammered, 0u);
+
+  // After quiescence the live reads are exact.
+  const obs::GaugeSample s = engine.sample_gauges();
+  EXPECT_EQ(s.events_ingested, stats.events);
+  EXPECT_EQ(s.convergence_lag_events, 0u);
+  EXPECT_EQ(engine.metrics_snapshot().counters.topology_events,
+            engine.metrics().topology_events);
+}
+
+// Tentpole acceptance: a deliberately wedged rank (parked via the
+// test-only DebugHooks) with backlog is flagged by the watchdog within
+// `stall_periods` samples, and the diagnostic dump names it.
+TEST(LiveTelemetry, WatchdogDetectsAParkedRankWithBacklog) {
+  std::atomic<bool> parked{true};
+  EngineConfig cfg{.num_ranks = 2};
+  cfg.debug.park_rank_while = &parked;
+  cfg.debug.park_rank = 1;
+  Engine engine(cfg);
+
+  // Pile events onto rank 1's mailbox; the parked rank never drains them.
+  std::vector<VertexId> rank1_owned;
+  for (VertexId v = 0; rank1_owned.size() < 8 && v < 10'000; ++v)
+    if (engine.partitioner().owner(v) == 1) rank1_owned.push_back(v);
+  ASSERT_EQ(rank1_owned.size(), 8u);
+  for (std::size_t i = 0; i + 1 < rank1_owned.size(); ++i)
+    engine.inject_edge(
+        EdgeEvent{rank1_owned[i], rank1_owned[i + 1], 1, EdgeOp::kAdd});
+
+  {
+    const obs::GaugeSample s = engine.sample_gauges();
+    EXPECT_GT(s.per_rank.at(1).queue_depth, 0u);
+    EXPECT_EQ(s.per_rank.at(1).events_applied, 0u);
+    EXPECT_FALSE(s.quiescent);
+    EXPECT_GT(s.convergence_lag_events, 0u);
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<obs::StallWatchdog::Report> reports;
+  obs::StallWatchdog::Config wcfg;
+  wcfg.period = std::chrono::milliseconds(10);
+  wcfg.stall_periods = 3;
+  wcfg.extra_dump = [&](std::uint32_t r) { return engine.stall_dump(r); };
+  obs::StallWatchdog dog([&] { return engine.sample_gauges(); }, wcfg,
+                         [&](const obs::StallWatchdog::Report& r) {
+                           std::lock_guard lock(mutex);
+                           reports.push_back(r);
+                           cv.notify_all();
+                         });
+
+  obs::StallWatchdog::Report first;
+  {
+    std::unique_lock lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return !reports.empty(); }));
+    first = reports.front();
+  }
+  EXPECT_EQ(first.rank, 1u);
+  EXPECT_EQ(first.periods, wcfg.stall_periods);  // within 3 sampling periods
+  EXPECT_FALSE(first.recovered);
+  EXPECT_TRUE(dog.rank_flagged(1));
+  EXPECT_FALSE(dog.rank_flagged(0));
+  EXPECT_EQ(dog.stalls_detected(), 1u);
+  EXPECT_NE(first.dump.find("rank 1 made no progress"), std::string::npos);
+  EXPECT_NE(first.dump.find("<<<"), std::string::npos);
+  EXPECT_NE(first.dump.find("rank 1 counters"), std::string::npos);  // extra_dump
+  EXPECT_GT(first.sample.per_rank.at(1).queue_depth, 0u);
+
+  // Unpark: the rank drains its backlog, the watchdog reports recovery,
+  // and the watermark catches up.
+  parked.store(false, std::memory_order_release);
+  engine.drain();
+  {
+    std::unique_lock lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      return reports.size() >= 2 && reports.back().recovered;
+    }));
+  }
+  EXPECT_FALSE(dog.rank_flagged(1));
+  dog.stop();
+  const obs::GaugeSample s = engine.sample_gauges();
+  EXPECT_EQ(s.convergence_lag_events, 0u);
+  EXPECT_TRUE(s.quiescent);
+}
+
+TEST(LiveTelemetry, ExporterOnLiveEngineEndsWithQuiescentRecord) {
+  const std::string path = ::testing::TempDir() + "remo_live_gauges.jsonl";
+  const EdgeList edges = telemetry_edges();
+  {
+    Engine engine(EngineConfig{.num_ranks = 2});
+    obs::MetricsExporter::Config cfg;
+    cfg.period = std::chrono::milliseconds(5);
+    cfg.path = path;
+    obs::MetricsExporter exporter([&] { return engine.sample_gauges(); }, cfg);
+    engine.ingest(make_streams(edges, 2, StreamOptions{.seed = 3}));
+    exporter.stop();  // final sample records the quiescent state
+    EXPECT_GE(exporter.samples(), 1u);
+    EXPECT_EQ(exporter.last_sample().convergence_lag_events, 0u);
+    EXPECT_TRUE(exporter.last_sample().quiescent);
+  }
+  std::istringstream in(slurp(path));
+  std::string line, last;
+  std::uint64_t records = 0;
+  while (std::getline(in, line)) {
+    std::string err;
+    const Json j = Json::parse(line, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j.find("schema")->as_string(), "remo-gauges-1");
+    last = line;
+    ++records;
+  }
+  ASSERT_GE(records, 1u);
+  std::string err;
+  const Json final_record = Json::parse(last, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(final_record.find("convergence_lag_events")->as_uint(), 0u);
+  EXPECT_TRUE(final_record.find("quiescent")->as_bool());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -54,6 +54,53 @@ TEST(EngineObservability, SnapshotCountersMatchLegacyMetrics) {
   EXPECT_GE(snap.counters.control_messages, 2u);  // the harvest fan-out
 }
 
+TEST(EngineObservability, MessagePartitionHoldsUnderDeleteHeavyWorkload) {
+  // `local + remote + control == messages_sent` must survive the messier
+  // paths: delete events (reverse-deletes, cache invalidation), repair
+  // waves, and the snapshot drains that interleave control traffic with
+  // basic visitors mid-stream.
+  const EdgeList edges = test_edges(9);
+  std::vector<EdgeEvent> events;
+  events.reserve(edges.size() * 2);
+  for (const Edge& e : edges)
+    events.push_back(EdgeEvent{e.src, e.dst, kDefaultWeight, EdgeOp::kAdd});
+  // Delete-heavy: remove roughly 60% of what was added (adds come first in
+  // each round-robin stream, so a delete never precedes its add).
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    if (i % 5 < 3)
+      events.push_back(EdgeEvent{edges[i].src, edges[i].dst, kDefaultWeight,
+                                 EdgeOp::kDelete});
+  const StreamSet streams = split_events(std::move(events), 3);
+
+  Engine engine(EngineConfig{.num_ranks = 3});
+  DynamicBfs::Options opts;
+  opts.support_deletes = true;  // repair() below needs the delete machinery
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(edges.front().src, opts);
+  engine.inject_init(id, edges.front().src);
+  engine.ingest_async(streams);
+
+  // Mid-stream snapshot drains: both the pausing and the versioned flavour
+  // push control fan-outs while basic traffic is still flowing.
+  (void)engine.collect_quiescent(id);
+  (void)engine.collect_versioned(id);
+  engine.await_quiescence();
+  engine.repair(id);  // anchors + probes: two more control fan-outs
+
+  const obs::MetricsSnapshot snap = engine.metrics_snapshot();
+  EXPECT_EQ(snap.counters.local_messages + snap.counters.remote_messages +
+                snap.counters.control_messages,
+            snap.counters.messages_sent);
+  // Per-rank rows partition too (control sends from the main thread are
+  // folded into the aggregate only).
+  for (const auto& r : snap.per_rank)
+    EXPECT_EQ(r.counters.local_messages + r.counters.remote_messages +
+                  r.counters.control_messages,
+              r.counters.messages_sent);
+  EXPECT_GT(snap.counters.control_messages, 0u);
+  EXPECT_EQ(snap.counters.topology_events,
+            engine.metrics().topology_events);
+}
+
 TEST(EngineObservability, LatencyHistogramPopulates) {
   const EdgeList edges = test_edges();
   EngineConfig cfg{.num_ranks = 2};

@@ -142,6 +142,52 @@ TEST(TraceWriter, EmitsParsableChromeTraceJson) {
   std::remove(path.c_str());
 }
 
+TEST(TraceWriter, ExportAfterRingWraparoundIsValidAndOrdered) {
+  // Fill a small ring well past capacity, then export: the file must still
+  // be valid chrome-trace JSON, the retained window must be exactly the
+  // newest `capacity` slices in chronological order, and the overwritten
+  // prefix must be gone.
+  TraceBuffer buf(16);
+  for (std::uint64_t i = 0; i < 100; ++i) buf.emit("tick", i * 1000, 500, "i", i);
+  EXPECT_EQ(buf.emitted(), 100u);
+  EXPECT_EQ(buf.dropped(), 84u);
+
+  const std::string path = temp_path("remo_trace_wrap.json");
+  ASSERT_TRUE(write_chrome_trace(path, "remo-test",
+                                 {TraceTrack{"rank 0", 0, buf.events()}}));
+
+  std::string error;
+  const Json doc = Json::parse(slurp(path), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::vector<std::uint64_t> retained;
+  double last_ts = -1.0;
+  for (const Json& ev : events->items()) {
+    if (ev.find("ph")->as_string() != "X") continue;
+    const double ts = ev.find("ts")->as_double();
+    EXPECT_GE(ts, last_ts) << "timestamps regress after wraparound";
+    last_ts = ts;
+    retained.push_back(ev.find("args")->find("i")->as_uint());
+  }
+  ASSERT_EQ(retained.size(), 16u);
+  for (std::size_t k = 0; k < retained.size(); ++k)
+    EXPECT_EQ(retained[k], 84 + k);  // oldest slices dropped, newest kept
+  std::remove(path.c_str());
+}
+
+TEST(TraceBuffer, RecentEventsReturnsNewestTail) {
+  TraceBuffer buf(8);
+  for (std::uint64_t i = 0; i < 20; ++i) buf.emit("e", i, 1, "i", i);
+  const auto tail = buf.recent_events(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].arg_value, 17u);
+  EXPECT_EQ(tail[2].arg_value, 19u);
+  // Asking for more than the window yields the whole retained window.
+  EXPECT_EQ(buf.recent_events(100).size(), 8u);
+}
+
 TEST(TraceWriter, EmptyTracksStillValid) {
   const std::string path = temp_path("remo_trace_empty.json");
   ASSERT_TRUE(write_chrome_trace(path, "remo-test", {}));

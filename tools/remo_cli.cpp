@@ -8,11 +8,15 @@
 //
 // Files ending in .txt use the text edge format; everything else the
 // packed binary format (src u64, dst u64, weight u32).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "remo/remo.hpp"
 
@@ -39,7 +43,11 @@ Args parse(int argc, char** argv) {
   if (argc >= 2) a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0 && i + 1 < argc && argv[i + 1][0] != '-') {
+    // A lone "-" is a value (stdout for --metrics-out), not an option.
+    const bool next_is_value =
+        i + 1 < argc &&
+        (argv[i + 1][0] != '-' || std::strcmp(argv[i + 1], "-") == 0);
+    if (key.rfind("--", 0) == 0 && next_is_value) {
       a.kv[key] = argv[++i];
     } else {
       a.kv[key] = "1";  // bare flag
@@ -66,12 +74,23 @@ int usage() {
                "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n"
                "                [--stats] [--stats-json FILE] [--trace FILE]\n"
                "                [--latency-sample SHIFT]\n"
+               "                [--watch] [--metrics-out FILE] [--metrics-period MS]\n"
+               "                [--metrics-format jsonl|prom] [--watchdog]\n"
                "\n"
                "observability (docs/OBSERVABILITY.md):\n"
                "  --stats            print counters, latency percentiles, phase times\n"
                "  --stats-json FILE  write the same as JSON (schema remo-stats-1)\n"
                "  --trace FILE       capture a chrome://tracing / Perfetto trace\n"
-               "  --latency-sample N time every 2^N-th update (default 6; 0 = all)\n");
+               "  --latency-sample N time every 2^N-th update (default 6; 0 = all)\n"
+               "\n"
+               "live telemetry (sampled every --metrics-period ms, default 100):\n"
+               "  --watch            refreshing one-line-per-rank live view of the\n"
+               "                     watermarks, queue depths, and convergence lag\n"
+               "  --metrics-out FILE periodic exporter; '-' streams JSONL to stdout\n"
+               "  --metrics-format   jsonl (default; schema remo-gauges-1) or prom\n"
+               "                     (Prometheus text, file rewritten atomically)\n"
+               "  --watchdog         flag ranks with backlog but no progress for 3\n"
+               "                     periods; diagnostic dump goes to stderr\n");
   return 2;
 }
 
@@ -188,7 +207,62 @@ int cmd_ingest(const Args& a) {
   const std::size_t n_streams = a.num("streams", cfg.num_ranks);
   const StreamSet streams = make_streams(edges, n_streams, opts);
 
-  const IngestStats stats = engine.ingest(streams);
+  // Live telemetry (docs/OBSERVABILITY.md): periodic exporter, stall
+  // watchdog, and the --watch live view all poll engine.sample_gauges().
+  const auto metrics_period =
+      std::chrono::milliseconds(a.num("metrics-period", 100));
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  const std::string metrics_out = a.str("metrics-out");
+  if (!metrics_out.empty()) {
+    obs::MetricsExporter::Config ecfg;
+    ecfg.period = metrics_period;
+    ecfg.path = metrics_out;
+    const std::string fmt = a.str("metrics-format", "jsonl");
+    if (fmt == "prom" || fmt == "prometheus") {
+      ecfg.format = obs::MetricsExporter::Format::kPrometheus;
+      if (metrics_out == "-") {
+        std::fprintf(stderr, "--metrics-format prom needs a real file path\n");
+        return usage();
+      }
+    } else if (fmt != "jsonl") {
+      return usage();
+    }
+    exporter = std::make_unique<obs::MetricsExporter>(
+        [&engine] { return engine.sample_gauges(); }, ecfg);
+  }
+  std::unique_ptr<obs::StallWatchdog> watchdog;
+  if (a.flag("watchdog")) {
+    obs::StallWatchdog::Config wcfg;
+    wcfg.period = metrics_period;
+    wcfg.extra_dump = [&engine](std::uint32_t r) { return engine.stall_dump(r); };
+    watchdog = std::make_unique<obs::StallWatchdog>(
+        [&engine] { return engine.sample_gauges(); }, wcfg);
+  }
+
+  IngestStats stats;
+  if (a.flag("watch")) {
+    engine.ingest_async(streams);
+    std::size_t lines = 0;
+    const auto refresh = [&] {
+      const std::string view = engine.sample_gauges().watch_view();
+      // Cursor up over the previous frame, clear to end of screen, redraw.
+      if (lines) std::printf("\x1b[%zuA\x1b[0J", lines);
+      std::fputs(view.c_str(), stdout);
+      std::fflush(stdout);
+      lines = static_cast<std::size_t>(
+          std::count(view.begin(), view.end(), '\n'));
+    };
+    while (!engine.idle()) {
+      refresh();
+      std::this_thread::sleep_for(metrics_period);
+    }
+    stats = engine.await_quiescence();
+    refresh();  // final frame: lag 0, everyone idle
+  } else {
+    stats = engine.ingest(streams);
+  }
+  if (watchdog) watchdog->stop();
+  if (exporter) exporter->stop();  // emits the final (quiescent) sample
   std::printf("ingested %s events in %.3f s — %s\n",
               with_commas(stats.events).c_str(), stats.seconds,
               remo::strfmt("%.2fM events/s", stats.events_per_second / 1e6).c_str());
