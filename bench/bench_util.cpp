@@ -103,10 +103,29 @@ Json engine_obs_json(const Engine& engine) {
   const obs::MetricsSnapshot snap = engine.metrics_snapshot();
   const Json full = snap.to_json(/*include_per_rank=*/false);
   Json out = Json::object();
-  for (const char* key : {"counters", "update_latency", "phases"})
+  for (const char* key : {"counters", "update_latency", "phases", "lineage"})
     if (const Json* sec = full.find(key)) out[key] = *sec;
   out["gauges"] = engine.sample_gauges().to_json(/*include_per_rank=*/false);
   return out;
+}
+
+void apply_obs_env(EngineConfig& cfg) {
+  if (const char* on = std::getenv("REMO_OBS_LINEAGE"); on && *on && *on != '0')
+    cfg.obs.lineage = true;
+  if (const char* s = std::getenv("REMO_OBS_LINEAGE_SHIFT")) {
+    const int shift = std::atoi(s);
+    if (shift >= 0 && shift <= 32)
+      cfg.obs.lineage_sample_shift = static_cast<std::uint32_t>(shift);
+  }
+}
+
+void write_lineage_from_env(const Engine& engine) {
+  const char* path = std::getenv("REMO_LINEAGE_OUT");
+  if (!path || !*path || !engine.lineage_enabled()) return;
+  if (engine.write_lineage(path))
+    std::printf("lineage dump: %s\n", path);
+  else
+    std::fprintf(stderr, "bench: cannot write lineage dump %s\n", path);
 }
 
 std::unique_ptr<obs::MetricsExporter> exporter_from_env(Engine& engine) {

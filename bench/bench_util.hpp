@@ -53,8 +53,22 @@ Json run_row(const std::string& dataset, RankId ranks, std::uint64_t events,
 /// stats-JSON shape — attach as a run row's "latency"/"messages"/"phases".
 /// Includes a "gauges" section: the final live-telemetry sample, whose
 /// convergence_lag_events must be 0 at quiescence (CI's bench-smoke job
-/// asserts this).
+/// asserts this). When lineage tracing is on, a "lineage" amplification
+/// summary block rides along (sampled causes, visitors/update p50/p99,
+/// depth percentiles, cross-rank hop ratio).
 Json engine_obs_json(const Engine& engine);
+
+/// Apply causal-lineage env knobs to an engine config (the lineage-overhead
+/// A/B knob and CI's lineage-smoke job):
+///   REMO_OBS_LINEAGE        "1" enables lineage tracing ("0"/unset: off)
+///   REMO_OBS_LINEAGE_SHIFT  sampling shift (every 2^shift-th topology
+///                           event traced; default ObsConfig's 6)
+void apply_obs_env(EngineConfig& cfg);
+
+/// When $REMO_LINEAGE_OUT is set and `engine` has lineage tracing on, dump
+/// the merged remo-lineage-1 snapshot there for `remo_cli trace-analyze`.
+/// Call at quiescence (after ingest returns). No-op otherwise.
+void write_lineage_from_env(const Engine& engine);
 
 /// Attach a live-telemetry exporter when $REMO_METRICS_OUT is set (the
 /// bench-overhead A/B knob and CI's bench-smoke job):
@@ -98,6 +112,7 @@ SaturationResult measure_saturation(const EdgeList& edges, RankId ranks, int rep
     EngineConfig cfg;
     cfg.num_ranks = ranks;
     cfg.undirected = undirected;
+    apply_obs_env(cfg);
     Engine engine(cfg);
     setup(engine);
     const auto exporter = exporter_from_env(engine);
@@ -107,7 +122,10 @@ SaturationResult measure_saturation(const EdgeList& edges, RankId ranks, int rep
     rates.push_back(stats.events_per_second);
     secs.push_back(stats.seconds);
     out.events = stats.events;
-    if (rep == repeats - 1) out.obs = engine_obs_json(engine);
+    if (rep == repeats - 1) {
+      out.obs = engine_obs_json(engine);
+      write_lineage_from_env(engine);
+    }
   }
   out.events_per_second = mean(rates);
   out.seconds = mean(secs);

@@ -58,7 +58,9 @@ int main() {
       (void)levels;
     }
     {  // (b) dynamic construction, then static BFS over the dynamic store
-      Engine engine(EngineConfig{.num_ranks = ranks});
+      EngineConfig cfg{.num_ranks = ranks};
+      apply_obs_env(cfg);
+      Engine engine(cfg);
       const auto exporter = exporter_from_env(engine);
       Timer t;
       const IngestStats st = engine.ingest(make_streams(
@@ -72,7 +74,9 @@ int main() {
       if (rep == repeats - 1) b_obs = engine_obs_json(engine);
     }
     {  // (c) dynamic construction overlapped with dynamic BFS
-      Engine engine(EngineConfig{.num_ranks = ranks});
+      EngineConfig cfg{.num_ranks = ranks};
+      apply_obs_env(cfg);
+      Engine engine(cfg);
       const auto exporter = exporter_from_env(engine);
       auto [id, bfs] = engine.attach_make<DynamicBfs>(source);
       engine.inject_init(id, source);
@@ -80,7 +84,10 @@ int main() {
       engine.ingest(make_streams(data.edges, ranks,
                                  StreamOptions{.seed = 7 + static_cast<std::uint64_t>(rep)}));
       c_tot.push_back(t.seconds());
-      if (rep == repeats - 1) c_obs = engine_obs_json(engine);
+      if (rep == repeats - 1) {
+        c_obs = engine_obs_json(engine);
+        write_lineage_from_env(engine);  // (c) has live propagation: richest dump
+      }
     }
   }
 

@@ -15,6 +15,7 @@
 #include "gen/stream.hpp"
 #include "obs/gauges.hpp"
 #include "obs/histogram.hpp"
+#include "obs/lineage.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
 #include "runtime/comm.hpp"
@@ -78,6 +79,18 @@ struct RankRuntime {
   std::uint64_t obs_topo_seen = 0;
   std::uint64_t obs_control_ns = 0;  // scratch: snapshot-drain time in batch
 
+  // Causal lineage (obs/lineage.hpp). The table is single-writer (this
+  // rank); `cur_cause`/`cur_hop` are the processing context set around
+  // process_visitor so that send() can stamp derived visitors without any
+  // per-call-site changes. Both are plain fields — only this rank's thread
+  // touches them.
+  std::unique_ptr<obs::LineageTable> lineage;  // null unless lineage enabled
+  std::uint64_t lineage_sample_mask = 0;  // sample every (mask+1)-th topo event
+  std::uint64_t lineage_topo_seen = 0;
+  std::uint32_t lineage_next_seq = 1;  // 24-bit, wraps past 0
+  obs::CauseId cur_cause = 0;
+  std::uint16_t cur_hop = 0;
+
   // Ingestion stream assignment. A rank may own several concurrent streams
   // (stream i of a StreamSet goes to rank i mod P); it pulls them
   // round-robin, preserving each stream's internal FIFO order. `streams`
@@ -112,14 +125,28 @@ struct RankRuntime {
 
   explicit RankRuntime(StoreConfig store_cfg) : store(store_cfg) {}
 
-  /// Route a visitor to the owner of its target vertex.
-  void send(const Visitor& v) {
+  /// Route a visitor to the owner of its target vertex. Taken by value:
+  /// when lineage tracing is on, visitors emitted while a caused visitor
+  /// is being processed inherit its cause and hop+1 here, so every
+  /// emission path (program updates, reverse-adds, invalidations, probes)
+  /// is covered without touching the call sites.
+  void send(Visitor v) {
     const RankId to = part->owner(v.target);
     ++metrics.messages_sent;
     if (to != rank)
       ++metrics.remote_messages;
     else
       ++metrics.local_messages;
+    if (lineage && v.kind != VisitKind::kControl) {
+      if (v.cause == 0 && cur_cause != 0) {
+        v.cause = cur_cause;
+        // Saturate: a >65k-hop cascade keeps reporting the max depth
+        // rather than wrapping back to the root.
+        v.hop = cur_hop == 0xFFFF ? cur_hop
+                                  : static_cast<std::uint16_t>(cur_hop + 1);
+      }
+      if (v.cause != 0) lineage->record_spawn(v.cause, v.hop, to != rank);
+    }
     comm->send(rank, to, v);
     if (v.kind != VisitKind::kControl) safra->on_basic_send(rank);
   }

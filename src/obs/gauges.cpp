@@ -47,71 +47,94 @@ Json GaugeSample::to_json(bool include_per_rank) const {
   return j;
 }
 
-namespace {
-
-void prom_header(std::string& out, const char* name, const char* help,
-                 const char* type) {
-  out += strfmt("# HELP %s %s\n", name, help);
-  out += strfmt("# TYPE %s %s\n", name, type);
+std::string prom_sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
 }
 
-void prom_value(std::string& out, const char* name, std::uint64_t v) {
-  out += strfmt("%s %llu\n", name, static_cast<unsigned long long>(v));
+void PromWriter::header(std::string_view name, std::string_view help,
+                        std::string_view type) {
+  const std::string clean = prom_sanitize_name(name);
+  for (const std::string& seen : headers_emitted_)
+    if (seen == clean) return;
+  headers_emitted_.push_back(clean);
+  out_ += strfmt("# HELP %s %.*s\n", clean.c_str(), static_cast<int>(help.size()),
+                 help.data());
+  out_ += strfmt("# TYPE %s %.*s\n", clean.c_str(), static_cast<int>(type.size()),
+                 type.data());
 }
 
-void prom_rank_value(std::string& out, const char* name, std::size_t rank,
-                     std::uint64_t v) {
-  out += strfmt("%s{rank=\"%zu\"} %llu\n", name, rank,
-                static_cast<unsigned long long>(v));
+void PromWriter::value(std::string_view name, std::uint64_t v) {
+  out_ += strfmt("%s %llu\n", prom_sanitize_name(name).c_str(),
+                 static_cast<unsigned long long>(v));
 }
 
-}  // namespace
+void PromWriter::value(std::string_view name, std::int64_t v) {
+  out_ += strfmt("%s %lld\n", prom_sanitize_name(name).c_str(),
+                 static_cast<long long>(v));
+}
+
+void PromWriter::value(std::string_view name, double v) {
+  out_ += strfmt("%s %.9f\n", prom_sanitize_name(name).c_str(), v);
+}
+
+void PromWriter::labelled(std::string_view name, std::string_view key,
+                          std::string_view label, std::uint64_t v) {
+  out_ += strfmt("%s{%.*s=\"%.*s\"} %llu\n", prom_sanitize_name(name).c_str(),
+                 static_cast<int>(key.size()), key.data(),
+                 static_cast<int>(label.size()), label.data(),
+                 static_cast<unsigned long long>(v));
+}
 
 std::string GaugeSample::to_prometheus() const {
-  std::string out;
-  prom_header(out, "remo_events_ingested_total",
-              "Topology events accepted into the system", "counter");
-  prom_value(out, "remo_events_ingested_total", events_ingested);
-  prom_header(out, "remo_events_applied_total",
-              "Topology events applied (store mutation + local callbacks)",
-              "counter");
-  prom_value(out, "remo_events_applied_total", events_applied);
-  prom_header(out, "remo_converged_through",
-              "Ingested-event watermark through which state is converged",
-              "gauge");
-  prom_value(out, "remo_converged_through", converged_through);
-  prom_header(out, "remo_convergence_lag_events",
-              "Events ingested but not yet reflected in converged state",
-              "gauge");
-  prom_value(out, "remo_convergence_lag_events", convergence_lag_events);
-  prom_header(out, "remo_staleness_seconds",
-              "Wall-clock age of the converged watermark (0 when caught up)",
-              "gauge");
-  out += strfmt("remo_staleness_seconds %.9f\n",
-                static_cast<double>(staleness_ns) / 1e9);
-  prom_header(out, "remo_in_flight_messages",
-              "Basic visitors injected but not fully processed", "gauge");
-  out += strfmt("remo_in_flight_messages %lld\n",
-                static_cast<long long>(in_flight));
-  prom_header(out, "remo_idle_ranks", "Ranks currently parked waiting for work",
-              "gauge");
-  prom_value(out, "remo_idle_ranks", idle_ranks);
-  prom_header(out, "remo_termination_probe_rounds_total",
-              "Safra token circuits completed (0 in counting mode)", "counter");
-  prom_value(out, "remo_termination_probe_rounds_total", safra_probe_rounds);
-  prom_header(out, "remo_queue_depth",
-              "Undrained ingress visitors (mailbox + loop-back)", "gauge");
+  PromWriter w;
+  w.header("remo_events_ingested_total",
+           "Topology events accepted into the system", "counter");
+  w.value("remo_events_ingested_total", events_ingested);
+  w.header("remo_events_applied_total",
+           "Topology events applied (store mutation + local callbacks)",
+           "counter");
+  w.value("remo_events_applied_total", events_applied);
+  w.header("remo_converged_through",
+           "Ingested-event watermark through which state is converged", "gauge");
+  w.value("remo_converged_through", converged_through);
+  w.header("remo_convergence_lag_events",
+           "Events ingested but not yet reflected in converged state", "gauge");
+  w.value("remo_convergence_lag_events", convergence_lag_events);
+  w.header("remo_staleness_seconds",
+           "Wall-clock age of the converged watermark (0 when caught up)",
+           "gauge");
+  w.value("remo_staleness_seconds", static_cast<double>(staleness_ns) / 1e9);
+  w.header("remo_in_flight_messages",
+           "Basic visitors injected but not fully processed", "gauge");
+  w.value("remo_in_flight_messages", static_cast<std::int64_t>(in_flight));
+  w.header("remo_idle_ranks", "Ranks currently parked waiting for work", "gauge");
+  w.value("remo_idle_ranks", std::uint64_t{idle_ranks});
+  w.header("remo_termination_probe_rounds_total",
+           "Safra token circuits completed (0 in counting mode)", "counter");
+  w.value("remo_termination_probe_rounds_total", safra_probe_rounds);
+  w.header("remo_queue_depth",
+           "Undrained ingress visitors (mailbox + loop-back)", "gauge");
   for (std::size_t r = 0; r < per_rank.size(); ++r)
-    prom_rank_value(out, "remo_queue_depth", r, per_rank[r].queue_depth);
-  prom_header(out, "remo_rank_events_applied_total",
-              "Topology events applied by each rank", "counter");
+    w.labelled("remo_queue_depth", "rank", strfmt("%zu", r),
+               per_rank[r].queue_depth);
+  w.header("remo_rank_events_applied_total",
+           "Topology events applied by each rank", "counter");
   for (std::size_t r = 0; r < per_rank.size(); ++r)
-    prom_rank_value(out, "remo_rank_events_applied_total", r,
-                    per_rank[r].events_applied);
-  prom_header(out, "remo_rank_idle", "1 while the rank is parked", "gauge");
+    w.labelled("remo_rank_events_applied_total", "rank", strfmt("%zu", r),
+               per_rank[r].events_applied);
+  w.header("remo_rank_idle", "1 while the rank is parked", "gauge");
   for (std::size_t r = 0; r < per_rank.size(); ++r)
-    prom_rank_value(out, "remo_rank_idle", r, per_rank[r].idle ? 1 : 0);
-  return out;
+    w.labelled("remo_rank_idle", "rank", strfmt("%zu", r),
+               per_rank[r].idle ? 1 : 0);
+  return w.str();
 }
 
 namespace {

@@ -29,11 +29,42 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json.hpp"
 
 namespace remo::obs {
+
+/// Map a metric name onto the Prometheus exposition charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): '-', '.', and anything else illegal become
+/// '_', and a leading digit gains a '_' prefix.
+std::string prom_sanitize_name(std::string_view name);
+
+/// Prometheus text-exposition builder with promtool-strict hygiene: every
+/// name passes through prom_sanitize_name(), and the HELP/TYPE header for
+/// a metric is emitted exactly once per exposition no matter how many
+/// sample lines reference it (duplicated headers are a parse error under
+/// strict checkers).
+class PromWriter {
+ public:
+  /// Emit `# HELP` / `# TYPE` for `name` unless already emitted.
+  void header(std::string_view name, std::string_view help, std::string_view type);
+
+  void value(std::string_view name, std::uint64_t v);
+  void value(std::string_view name, std::int64_t v);
+  void value(std::string_view name, double v);
+
+  /// One labelled sample line: name{key="label"} v.
+  void labelled(std::string_view name, std::string_view key,
+                std::string_view label, std::uint64_t v);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  std::string out_;
+  std::vector<std::string> headers_emitted_;
+};
 
 /// Per-rank live cells beyond what LiveRankMetrics already tracks. Single
 /// writer (the owning rank), relaxed-atomic, padded onto their own line so

@@ -1,0 +1,393 @@
+#include "obs/lineage.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strfmt.hpp"
+
+namespace remo::obs {
+
+namespace {
+
+// Fibonacci-style multiplicative hash; the table sizes are powers of two.
+inline std::size_t cause_slot(CauseId c, std::size_t capacity) noexcept {
+  return (static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ull) >> 32 &
+         (capacity - 1);
+}
+
+inline std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+LineageTable::LineageTable(std::size_t capacity)
+    : cells_(round_up_pow2(capacity ? capacity : 1)) {}
+
+LineageCell* LineageTable::find_or_claim(CauseId cause) noexcept {
+  const std::size_t cap = cells_.size();
+  std::size_t slot = cause_slot(cause, cap);
+  // Bound the probe sequence so a full table degrades to counted drops
+  // instead of a linear scan per operation.
+  const std::size_t max_probe = std::min<std::size_t>(cap, 64);
+  for (std::size_t i = 0; i < max_probe; ++i) {
+    LineageCell& cell = cells_[(slot + i) & (cap - 1)];
+    std::uint32_t cur = cell.cause.load(std::memory_order_relaxed);
+    if (cur == cause) return &cell;
+    if (cur == 0) {
+      // Claim via CAS: rank tables are single-writer (the CAS always
+      // succeeds), but the main thread's table may see concurrent
+      // injectors racing for the same empty slot.
+      if (cell.cause.compare_exchange_strong(cur, cause,
+                                             std::memory_order_relaxed))
+        return &cell;
+      if (cur == cause) return &cell;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void LineageTable::record_origin(CauseId cause, std::uint64_t ns) noexcept {
+  if (LineageCell* cell = find_or_claim(cause))
+    cell->first_ns.store(ns, std::memory_order_relaxed);
+}
+
+void LineageTable::record_spawn(CauseId cause, std::uint32_t depth,
+                                bool remote) noexcept {
+  LineageCell* cell = find_or_claim(cause);
+  if (!cell) return;
+  cell->spawned.fetch_add(1, std::memory_order_relaxed);
+  if (remote) cell->remote_spawned.fetch_add(1, std::memory_order_relaxed);
+  if (depth > cell->max_depth.load(std::memory_order_relaxed))
+    cell->max_depth.store(depth, std::memory_order_relaxed);
+}
+
+void LineageTable::record_apply(CauseId cause, std::uint32_t depth,
+                                std::uint64_t vertex, std::uint64_t ns) noexcept {
+  LineageCell* cell = find_or_claim(cause);
+  if (!cell) return;
+  cell->applied.fetch_add(1, std::memory_order_relaxed);
+  if (depth > cell->max_depth.load(std::memory_order_relaxed))
+    cell->max_depth.store(depth, std::memory_order_relaxed);
+  if (ns > cell->last_ns.load(std::memory_order_relaxed))
+    cell->last_ns.store(ns, std::memory_order_relaxed);
+  // A non-origin rank's first touch stands in for first_ns when the origin
+  // cell is unavailable (merge prefers the origin's ingest instant).
+  if (cell->first_ns.load(std::memory_order_relaxed) == 0)
+    cell->first_ns.store(ns, std::memory_order_relaxed);
+  if (depth < kWitnessDepths) {
+    LineageCell::Witness& w = cell->witness[depth];
+    if (ns >= w.ns.load(std::memory_order_relaxed)) {
+      w.vertex.store(vertex, std::memory_order_relaxed);
+      w.ns.store(ns, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<LineageCellSnapshot> LineageTable::snapshot(std::uint32_t rank) const {
+  std::vector<LineageCellSnapshot> out;
+  for (const LineageCell& cell : cells_) {
+    const CauseId cause = cell.cause.load(std::memory_order_relaxed);
+    if (cause == 0) continue;
+    LineageCellSnapshot s;
+    s.cause = cause;
+    s.rank = rank;
+    s.max_depth = cell.max_depth.load(std::memory_order_relaxed);
+    s.spawned = cell.spawned.load(std::memory_order_relaxed);
+    s.remote_spawned = cell.remote_spawned.load(std::memory_order_relaxed);
+    s.applied = cell.applied.load(std::memory_order_relaxed);
+    s.first_ns = cell.first_ns.load(std::memory_order_relaxed);
+    s.last_ns = cell.last_ns.load(std::memory_order_relaxed);
+    for (std::uint32_t d = 0; d < kWitnessDepths; ++d) {
+      s.witness[d].vertex = cell.witness[d].vertex.load(std::memory_order_relaxed);
+      s.witness[d].ns = cell.witness[d].ns.load(std::memory_order_relaxed);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+LineageSnapshot merge_lineage(const std::vector<LineageCellSnapshot>& cells,
+                              std::uint32_t ranks, std::uint64_t dropped) {
+  struct Accum {
+    LineageRecord rec;
+    std::uint64_t origin_first = 0;    ///< origin table's ingest instant
+    std::uint64_t fallback_first = 0;  ///< min first-touch elsewhere
+    LineageCellSnapshot::Witness witness[kWitnessDepths];
+    std::uint32_t witness_rank[kWitnessDepths] = {};
+  };
+  std::unordered_map<CauseId, Accum> by_cause;
+  by_cause.reserve(cells.size());
+
+  for (const LineageCellSnapshot& c : cells) {
+    Accum& a = by_cause[c.cause];
+    LineageRecord& r = a.rec;
+    r.cause = c.cause;
+    r.spawned += c.spawned;
+    r.remote_spawned += c.remote_spawned;
+    r.applied += c.applied;
+    r.max_depth = std::max(r.max_depth, c.max_depth);
+    if (c.applied > 0) ++r.ranks_touched;
+    r.last_ns = std::max(r.last_ns, c.last_ns);
+    if (c.first_ns != 0) {
+      if (c.rank == cause_origin(c.cause))
+        a.origin_first = c.first_ns;
+      else if (a.fallback_first == 0 || c.first_ns < a.fallback_first)
+        a.fallback_first = c.first_ns;
+    }
+    // Per depth, keep the latest-applied witness across ranks: the chain of
+    // slowest frontier vertices approximates the critical path (and is the
+    // exact path when each depth has a single frontier vertex).
+    for (std::uint32_t d = 0; d < kWitnessDepths; ++d) {
+      if (c.witness[d].vertex == kNoWitness) continue;
+      if (a.witness[d].vertex == kNoWitness || c.witness[d].ns >= a.witness[d].ns) {
+        a.witness[d] = c.witness[d];
+        a.witness_rank[d] = c.rank;
+      }
+    }
+  }
+
+  LineageSnapshot snap;
+  snap.ranks = ranks;
+  snap.dropped = dropped;
+  snap.records.reserve(by_cause.size());
+  for (auto& [cause, a] : by_cause) {
+    LineageRecord& r = a.rec;
+    r.first_ns = a.origin_first ? a.origin_first : a.fallback_first;
+    for (std::uint32_t d = 0; d < kWitnessDepths; ++d) {
+      if (a.witness[d].vertex == kNoWitness) continue;
+      r.path.push_back(
+          WitnessStep{d, a.witness[d].vertex, a.witness_rank[d], a.witness[d].ns});
+    }
+    std::sort(r.path.begin(), r.path.end(),
+              [](const WitnessStep& x, const WitnessStep& y) {
+                return x.depth < y.depth;
+              });
+    snap.records.push_back(std::move(r));
+  }
+  std::sort(snap.records.begin(), snap.records.end(),
+            [](const LineageRecord& x, const LineageRecord& y) {
+              if (x.span_ns() != y.span_ns()) return x.span_ns() > y.span_ns();
+              return x.cause < y.cause;  // deterministic tie-break
+            });
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Summary / JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+T percentile_of(std::vector<T>& sorted, double p) {
+  if (sorted.empty()) return T{};
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LineageSummary LineageSnapshot::summary() const {
+  LineageSummary s;
+  s.sampled = records.size();
+  s.dropped = dropped;
+  std::vector<std::uint64_t> visitors;
+  std::vector<std::uint32_t> depths;
+  visitors.reserve(records.size());
+  depths.reserve(records.size());
+  for (const LineageRecord& r : records) {
+    s.spawned += r.spawned;
+    s.remote_spawned += r.remote_spawned;
+    s.applied += r.applied;
+    visitors.push_back(r.applied);
+    depths.push_back(r.max_depth);
+  }
+  s.visitors_p50 = percentile_of(visitors, 50.0);
+  s.visitors_p99 = percentile_of(visitors, 99.0);
+  s.depth_p50 = percentile_of(depths, 50.0);
+  s.depth_p99 = percentile_of(depths, 99.0);
+  s.cross_rank_ratio =
+      s.spawned ? static_cast<double>(s.remote_spawned) / static_cast<double>(s.spawned)
+                : 0.0;
+  return s;
+}
+
+Json LineageSummary::to_json() const {
+  Json j = Json::object();
+  j["sampled"] = sampled;
+  j["dropped"] = dropped;
+  j["spawned"] = spawned;
+  j["remote_spawned"] = remote_spawned;
+  j["applied"] = applied;
+  j["visitors_p50"] = visitors_p50;
+  j["visitors_p99"] = visitors_p99;
+  j["depth_p50"] = depth_p50;
+  j["depth_p99"] = depth_p99;
+  j["cross_rank_ratio"] = cross_rank_ratio;
+  return j;
+}
+
+Json LineageSnapshot::to_json(std::size_t max_causes) const {
+  Json j = Json::object();
+  j["schema"] = "remo-lineage-1";
+  j["ranks"] = ranks;
+  j["summary"] = summary().to_json();
+  Json causes = Json::array();
+  const std::size_t n =
+      max_causes ? std::min(max_causes, records.size()) : records.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const LineageRecord& r = records[i];
+    Json jr = Json::object();
+    jr["cause"] = r.cause;
+    jr["origin"] = cause_origin(r.cause);
+    jr["seq"] = cause_seq(r.cause);
+    jr["spawned"] = r.spawned;
+    jr["remote_spawned"] = r.remote_spawned;
+    jr["applied"] = r.applied;
+    jr["max_depth"] = r.max_depth;
+    jr["ranks_touched"] = r.ranks_touched;
+    jr["first_ns"] = r.first_ns;
+    jr["last_ns"] = r.last_ns;
+    jr["span_ns"] = r.span_ns();
+    Json path = Json::array();
+    for (const WitnessStep& w : r.path) {
+      Json jw = Json::object();
+      jw["depth"] = w.depth;
+      jw["vertex"] = w.vertex;
+      jw["rank"] = w.rank;
+      jw["ns"] = w.ns;
+      path.push_back(std::move(jw));
+    }
+    jr["path"] = std::move(path);
+    causes.push_back(std::move(jr));
+  }
+  j["causes"] = std::move(causes);
+  return j;
+}
+
+bool LineageSnapshot::from_json(const Json& doc, LineageSnapshot& out,
+                                std::string* error) {
+  const auto fail = [&](const char* msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  const Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->as_string() != "remo-lineage-1")
+    return fail("not a remo-lineage-1 document");
+  const Json* causes = doc.find("causes");
+  if (!causes || !causes->is_array()) return fail("missing causes array");
+  out = LineageSnapshot{};
+  if (const Json* r = doc.find("ranks"))
+    out.ranks = static_cast<std::uint32_t>(r->as_uint());
+  if (const Json* s = doc.find("summary"))
+    if (const Json* d = s->find("dropped")) out.dropped = d->as_uint();
+  const auto u64 = [](const Json& j, const char* key) -> std::uint64_t {
+    const Json* f = j.find(key);
+    return f && f->is_number() ? f->as_uint() : 0;
+  };
+  for (const Json& jc : causes->items()) {
+    if (!jc.is_object()) return fail("cause entry is not an object");
+    LineageRecord r;
+    r.cause = static_cast<CauseId>(u64(jc, "cause"));
+    if (r.cause == 0) return fail("cause entry without a cause id");
+    r.spawned = u64(jc, "spawned");
+    r.remote_spawned = u64(jc, "remote_spawned");
+    r.applied = u64(jc, "applied");
+    r.max_depth = static_cast<std::uint32_t>(u64(jc, "max_depth"));
+    r.ranks_touched = static_cast<std::uint32_t>(u64(jc, "ranks_touched"));
+    r.first_ns = u64(jc, "first_ns");
+    r.last_ns = u64(jc, "last_ns");
+    if (const Json* path = jc.find("path"); path && path->is_array()) {
+      for (const Json& jw : path->items()) {
+        WitnessStep w;
+        w.depth = static_cast<std::uint32_t>(u64(jw, "depth"));
+        w.vertex = u64(jw, "vertex");
+        w.rank = static_cast<std::uint32_t>(u64(jw, "rank"));
+        w.ns = u64(jw, "ns");
+        r.path.push_back(w);
+      }
+    }
+    out.records.push_back(std::move(r));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string ns_human(std::uint64_t ns) {
+  if (ns >= 1'000'000'000) return strfmt("%.2f s", static_cast<double>(ns) / 1e9);
+  if (ns >= 1'000'000) return strfmt("%.2f ms", static_cast<double>(ns) / 1e6);
+  if (ns >= 1'000) return strfmt("%.2f us", static_cast<double>(ns) / 1e3);
+  return strfmt("%llu ns", static_cast<unsigned long long>(ns));
+}
+
+std::string cause_label(CauseId c) {
+  const std::uint32_t origin = cause_origin(c);
+  if (origin == kMainOrigin) return strfmt("main#%u", cause_seq(c));
+  return strfmt("r%u#%u", origin, cause_seq(c));
+}
+
+}  // namespace
+
+std::string analyze_lineage(const LineageSnapshot& snap, std::size_t top_k) {
+  std::string out;
+  const LineageSummary s = snap.summary();
+  out += strfmt("lineage: %llu causes sampled, %llu dropped, %u ranks\n",
+                static_cast<unsigned long long>(s.sampled),
+                static_cast<unsigned long long>(s.dropped), snap.ranks);
+  if (s.sampled == 0) return out;
+  out += strfmt(
+      "amplification: visitors/update p50 %llu p99 %llu, depth p50 %u p99 %u, "
+      "cross-rank hop ratio %.3f\n",
+      static_cast<unsigned long long>(s.visitors_p50),
+      static_cast<unsigned long long>(s.visitors_p99), s.depth_p50, s.depth_p99,
+      s.cross_rank_ratio);
+  const std::size_t n = std::min(top_k, snap.records.size());
+  out += strfmt("top %zu by wall-clock span:\n", n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const LineageRecord& r = snap.records[i];
+    out += strfmt(
+        "  #%-3zu %-10s span %-10s visitors %-6llu depth %-3u ranks %-3u "
+        "spawned %llu (remote %llu)\n",
+        i + 1, cause_label(r.cause).c_str(), ns_human(r.span_ns()).c_str(),
+        static_cast<unsigned long long>(r.applied), r.max_depth, r.ranks_touched,
+        static_cast<unsigned long long>(r.spawned),
+        static_cast<unsigned long long>(r.remote_spawned));
+    if (!r.path.empty()) {
+      out += "       path:";
+      for (const WitnessStep& w : r.path) {
+        const std::uint64_t rel = w.ns > r.first_ns ? w.ns - r.first_ns : 0;
+        out += strfmt(" d%u v%llu@r%u +%s", w.depth,
+                      static_cast<unsigned long long>(w.vertex), w.rank,
+                      ns_human(rel).c_str());
+        if (&w != &r.path.back()) out += " ->";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::vector<CauseId> causes_below_descendants(const LineageSnapshot& snap,
+                                              std::uint64_t min_descendants) {
+  std::vector<CauseId> out;
+  for (const LineageRecord& r : snap.records)
+    if (r.spawned < min_descendants) out.push_back(r.cause);
+  return out;
+}
+
+}  // namespace remo::obs

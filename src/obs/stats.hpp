@@ -12,6 +12,7 @@
 
 #include "common/json.hpp"
 #include "obs/histogram.hpp"
+#include "obs/lineage.hpp"
 #include "obs/phase_timer.hpp"
 #include "runtime/metrics.hpp"
 
@@ -28,6 +29,8 @@ struct MetricsSnapshot {
   HistogramSnapshot update_latency_ns;  ///< merged across ranks
   PhaseSnapshot phases;                 ///< summed across ranks
   std::vector<RankObs> per_rank;
+  bool lineage_enabled = false;
+  LineageSummary lineage;  ///< work-amplification aggregates (when enabled)
 
   /// Latency percentiles + counters + phases as a JSON object
   /// (schema "remo-stats-1"; see docs/OBSERVABILITY.md).

@@ -92,6 +92,14 @@ void StallWatchdog::deliver(const Report& r) {
 
 void StallWatchdog::check(const GaugeSample& s) {
   std::vector<Report> reports;
+  // While a Safra token is circulating, quiescence detection itself is the
+  // system's current work: a rank can legitimately show backlog with a
+  // frozen applied counter for several periods (the token must complete
+  // whole ring circuits before termination is declared). Hold the
+  // no-progress counters — neither advancing them nor resetting them — so
+  // a slow-but-progressing probe is never reported as a wedge, yet a rank
+  // that was already suspect resumes accumulating once the probe ends.
+  const bool probing = s.safra_mode && s.safra_probe_active && !s.safra_terminated;
   {
     std::lock_guard lock(mutex_);
     watch_.resize(s.per_rank.size());
@@ -113,6 +121,7 @@ void StallWatchdog::check(const GaugeSample& s) {
         }
         continue;
       }
+      if (probing) continue;  // token in flight: hold, don't accumulate
       ++w.no_progress;
       if (w.no_progress >= cfg_.stall_periods && !w.flagged) {
         w.flagged = true;

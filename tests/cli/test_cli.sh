@@ -51,6 +51,25 @@ grep -q '"traceEvents"' "$WORK/trace.json"
 grep -q '"ph":"X"' "$WORK/trace.json"
 grep -q '"thread_name"' "$WORK/trace.json"
 
+echo "== causal lineage: --lineage-out -> trace-analyze =="
+"$REMO" ingest --graph "$WORK/g.bin" --ranks 4 --algo bfs --source 0 \
+    --lineage-out "$WORK/lineage.json" --lineage-sample 4 \
+    | tee "$WORK/lineage.out"
+grep -q "causes sampled" "$WORK/lineage.out"
+grep -q "lineage written" "$WORK/lineage.out"
+grep -q '"schema":"remo-lineage-1"' "$WORK/lineage.json"
+"$REMO" trace-analyze --lineage "$WORK/lineage.json" --top 3 \
+    --min-descendants 1 | tee "$WORK/analyze.out"
+grep -q "amplification: visitors/update" "$WORK/analyze.out"
+grep -q "top 3 by wall-clock span" "$WORK/analyze.out"
+grep -q "path: d0 " "$WORK/analyze.out"
+grep -q "sampled causes spawned >= 1" "$WORK/analyze.out"
+# The gate must fail when the bar is impossibly high.
+if "$REMO" trace-analyze --lineage "$WORK/lineage.json" \
+    --min-descendants 1000000 >/dev/null 2>&1; then
+  echo "expected gate failure"; exit 1
+fi
+
 echo "== usage error paths =="
 if "$REMO" bogus-command 2>/dev/null; then echo "expected failure"; exit 1; fi
 if "$REMO" ingest 2>/dev/null; then echo "expected failure"; exit 1; fi

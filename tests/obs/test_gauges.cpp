@@ -106,6 +106,38 @@ TEST(GaugeSample, PrometheusExpositionIsWellFormed) {
   EXPECT_EQ(text.find("nan"), std::string::npos);
 }
 
+TEST(PromSanitize, MapsIllegalCharsOntoExpositionCharset) {
+  EXPECT_EQ(prom_sanitize_name("remo_ok_name:total"), "remo_ok_name:total");
+  EXPECT_EQ(prom_sanitize_name("remo-queue.depth"), "remo_queue_depth");
+  EXPECT_EQ(prom_sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(prom_sanitize_name(""), "_");
+  EXPECT_EQ(prom_sanitize_name("a b/c"), "a_b_c");
+}
+
+TEST(PromWriter, SanitizesNamesAndEmitsHeadersOncePerMetric) {
+  PromWriter w;
+  w.header("remo-flaky.metric", "help text", "gauge");
+  w.value("remo-flaky.metric", std::uint64_t{1});
+  w.header("remo-flaky.metric", "help text", "gauge");  // literal duplicate
+  w.header("remo_flaky_metric", "other", "counter");    // post-sanitize duplicate
+  w.labelled("remo-flaky.metric", "rank", "0", 2);
+  const std::string& text = w.str();
+
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count("# HELP remo_flaky_metric"), 1u);
+  EXPECT_EQ(count("# TYPE remo_flaky_metric"), 1u);
+  EXPECT_NE(text.find("remo_flaky_metric 1\n"), std::string::npos);
+  EXPECT_NE(text.find("remo_flaky_metric{rank=\"0\"} 2\n"), std::string::npos);
+  // The raw (illegal) spelling never reaches the exposition.
+  EXPECT_EQ(text.find("remo-flaky.metric"), std::string::npos);
+}
+
 TEST(GaugeSample, WatchViewRendersHeaderAndOneLinePerRank) {
   const std::string view = make_sample().watch_view();
   std::size_t lines = 0;
@@ -311,6 +343,69 @@ TEST(StallWatchdog, EmptyQueueNeverFlagsEvenWithoutProgress) {
   while (samples.load(std::memory_order_relaxed) < 10)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_EQ(dog.stalls_detected(), 0u);
+  dog.stop();
+}
+
+TEST(StallWatchdog, HoldsWhileSafraTokenInFlight) {
+  // While a Safra probe circulates, a rank may legitimately sit on backlog
+  // with frozen counters (the token needs whole ring circuits). The
+  // watchdog must hold its no-progress counters — no accumulation, no
+  // reset — and resume the count once the probe ends.
+  auto script = std::make_shared<StallScript>(1);
+  script->set(0, 7, 0);  // backlog, frozen applied: stall candidate
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<bool> probing{true};
+  ReportLog log;
+  StallWatchdog::Config cfg;
+  cfg.period = std::chrono::milliseconds(1);
+  cfg.stall_periods = 3;
+  StallWatchdog dog(
+      [&] {
+        samples.fetch_add(1, std::memory_order_relaxed);
+        GaugeSample s = (*script)();
+        s.safra_mode = true;
+        s.safra_probe_active = probing.load(std::memory_order_relaxed);
+        return s;
+      },
+      cfg, [&](const StallWatchdog::Report& r) { log.push(r); });
+
+  // Many probing samples, all showing backlog + no progress: no report.
+  while (samples.load(std::memory_order_relaxed) < 20)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(dog.stalls_detected(), 0u);
+  EXPECT_FALSE(dog.rank_flagged(0));
+
+  // Probe ends without the rank progressing: accumulation starts from zero
+  // and flags after exactly stall_periods further samples.
+  probing.store(false, std::memory_order_relaxed);
+  const StallWatchdog::Report rep = log.wait_for_report(0);
+  EXPECT_EQ(rep.rank, 0u);
+  EXPECT_EQ(rep.periods, 3u);
+  EXPECT_FALSE(rep.recovered);
+  dog.stop();
+}
+
+TEST(StallWatchdog, TerminatedProbeDoesNotSuppressDetection) {
+  // probe_active can stay latched in a terminated sample; termination means
+  // the detector finished, so suppression must not apply.
+  auto script = std::make_shared<StallScript>(1);
+  script->set(0, 4, 0);
+  ReportLog log;
+  StallWatchdog::Config cfg;
+  cfg.period = std::chrono::milliseconds(1);
+  cfg.stall_periods = 2;
+  StallWatchdog dog(
+      [&] {
+        GaugeSample s = (*script)();
+        s.safra_mode = true;
+        s.safra_probe_active = true;
+        s.safra_terminated = true;
+        return s;
+      },
+      cfg, [&](const StallWatchdog::Report& r) { log.push(r); });
+  const StallWatchdog::Report rep = log.wait_for_report(0);
+  EXPECT_EQ(rep.rank, 0u);
+  EXPECT_EQ(rep.periods, 2u);
   dog.stop();
 }
 

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/lineage.hpp"
+
+namespace remo::obs::test {
+namespace {
+
+TEST(CauseId, PacksOriginAndSequence) {
+  const CauseId c = make_cause(3, 41);
+  EXPECT_EQ(cause_origin(c), 3u);
+  EXPECT_EQ(cause_seq(c), 41u);
+  const CauseId m = make_cause(kMainOrigin, kCauseSeqMask);
+  EXPECT_EQ(cause_origin(m), kMainOrigin);
+  EXPECT_EQ(cause_seq(m), kCauseSeqMask);
+  // Sequence truncates into its 24 bits without bleeding into the origin.
+  EXPECT_EQ(cause_origin(make_cause(7, kCauseSeqMask + 5)), 7u);
+  EXPECT_EQ(cause_seq(make_cause(7, kCauseSeqMask + 5)), 4u);
+}
+
+TEST(LineageTable, RecordsSpawnsAppliesAndWitnesses) {
+  LineageTable t(64);
+  const CauseId c = make_cause(0, 1);
+  t.record_origin(c, 100);
+  t.record_spawn(c, 1, /*remote=*/false);
+  t.record_spawn(c, 1, /*remote=*/true);
+  t.record_spawn(c, 2, /*remote=*/true);
+  t.record_apply(c, 0, /*vertex=*/10, 150);
+  t.record_apply(c, 1, /*vertex=*/11, 200);
+  t.record_apply(c, 1, /*vertex=*/12, 250);  // later: replaces depth-1 witness
+
+  const auto cells = t.snapshot(/*rank=*/0);
+  ASSERT_EQ(cells.size(), 1u);
+  const LineageCellSnapshot& s = cells[0];
+  EXPECT_EQ(s.cause, c);
+  EXPECT_EQ(s.rank, 0u);
+  EXPECT_EQ(s.spawned, 3u);
+  EXPECT_EQ(s.remote_spawned, 2u);
+  EXPECT_EQ(s.applied, 3u);
+  EXPECT_EQ(s.max_depth, 2u);
+  EXPECT_EQ(s.first_ns, 100u);
+  EXPECT_EQ(s.last_ns, 250u);
+  EXPECT_EQ(s.witness[0].vertex, 10u);
+  EXPECT_EQ(s.witness[1].vertex, 12u);  // latest apply wins the depth slot
+  EXPECT_EQ(s.witness[1].ns, 250u);
+  EXPECT_EQ(s.witness[2].vertex, kNoWitness);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(LineageTable, DeepHopsCountTowardDepthWithoutWitnessSlots) {
+  LineageTable t(8);
+  const CauseId c = make_cause(1, 1);
+  t.record_apply(c, kWitnessDepths + 3, 99, 500);
+  const auto cells = t.snapshot(1);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].max_depth, kWitnessDepths + 3);
+  for (std::uint32_t d = 0; d < kWitnessDepths; ++d)
+    EXPECT_EQ(cells[0].witness[d].vertex, kNoWitness);
+  // No origin record: the first apply stands in for first_ns.
+  EXPECT_EQ(cells[0].first_ns, 500u);
+}
+
+TEST(LineageTable, OverflowCountsDropsInsteadOfEvicting) {
+  LineageTable t(2);  // rounds to capacity 2, probe bound = 2
+  EXPECT_EQ(t.capacity(), 2u);
+  std::uint64_t tracked = 0;
+  for (std::uint32_t seq = 1; seq <= 64; ++seq)
+    t.record_spawn(make_cause(0, seq), 0, false);
+  for (const auto& cell : t.snapshot(0)) tracked += cell.spawned;
+  EXPECT_EQ(tracked + t.dropped(), 64u);
+  EXPECT_GT(t.dropped(), 0u);
+  EXPECT_LE(t.snapshot(0).size(), 2u);
+}
+
+/// Hand-rolled two-rank cascade: cause ingested on rank 0 at t=100, root
+/// applied there, one remote child applied on rank 1.
+std::vector<LineageCellSnapshot> two_rank_cells(CauseId c) {
+  LineageTable r0(16), r1(16);
+  r0.record_origin(c, 100);
+  r0.record_apply(c, 0, /*vertex=*/5, 150);
+  r0.record_spawn(c, 1, /*remote=*/true);
+  r1.record_apply(c, 1, /*vertex=*/6, 300);
+  auto cells = r0.snapshot(0);
+  for (const auto& s : r1.snapshot(1)) cells.push_back(s);
+  return cells;
+}
+
+TEST(MergeLineage, FoldsPerRankCellsIntoGlobalRecords) {
+  const CauseId c = make_cause(0, 7);
+  const LineageSnapshot snap = merge_lineage(two_rank_cells(c), 2, /*dropped=*/0);
+  EXPECT_EQ(snap.ranks, 2u);
+  ASSERT_EQ(snap.records.size(), 1u);
+  const LineageRecord& r = snap.records[0];
+  EXPECT_EQ(r.cause, c);
+  EXPECT_EQ(r.spawned, 1u);
+  EXPECT_EQ(r.remote_spawned, 1u);
+  EXPECT_EQ(r.applied, 2u);
+  EXPECT_EQ(r.max_depth, 1u);
+  EXPECT_EQ(r.ranks_touched, 2u);
+  EXPECT_EQ(r.first_ns, 100u);  // the origin's ingest instant, not first apply
+  EXPECT_EQ(r.last_ns, 300u);
+  EXPECT_EQ(r.span_ns(), 200u);
+  ASSERT_EQ(r.path.size(), 2u);
+  EXPECT_EQ(r.path[0].depth, 0u);
+  EXPECT_EQ(r.path[0].vertex, 5u);
+  EXPECT_EQ(r.path[0].rank, 0u);
+  EXPECT_EQ(r.path[1].depth, 1u);
+  EXPECT_EQ(r.path[1].vertex, 6u);
+  EXPECT_EQ(r.path[1].rank, 1u);
+}
+
+TEST(MergeLineage, SortsRecordsBySpanDescending) {
+  LineageTable t(16);
+  const CauseId slow = make_cause(0, 1), fast = make_cause(0, 2);
+  t.record_origin(slow, 100);
+  t.record_apply(slow, 0, 1, 900);
+  t.record_origin(fast, 200);
+  t.record_apply(fast, 0, 2, 300);
+  const LineageSnapshot snap = merge_lineage(t.snapshot(0), 1, 0);
+  ASSERT_EQ(snap.records.size(), 2u);
+  EXPECT_EQ(snap.records[0].cause, slow);
+  EXPECT_EQ(snap.records[1].cause, fast);
+}
+
+TEST(LineageSummary, AggregatesAmplificationPercentiles) {
+  LineageTable t(64);
+  // Nine causes applying once, one cause applying 100 times at depth 5.
+  for (std::uint32_t seq = 1; seq <= 9; ++seq) {
+    const CauseId c = make_cause(0, seq);
+    t.record_spawn(c, 0, false);
+    t.record_apply(c, 0, seq, 10 * seq);
+  }
+  const CauseId heavy = make_cause(0, 10);
+  for (int i = 0; i < 100; ++i) {
+    t.record_spawn(heavy, 5, /*remote=*/i % 2 == 0);
+    t.record_apply(heavy, 5, 99, 1000 + static_cast<std::uint64_t>(i));
+  }
+  const LineageSnapshot snap = merge_lineage(t.snapshot(0), 1, /*dropped=*/3);
+  const LineageSummary s = snap.summary();
+  EXPECT_EQ(s.sampled, 10u);
+  EXPECT_EQ(s.dropped, 3u);
+  EXPECT_EQ(s.spawned, 109u);
+  EXPECT_EQ(s.remote_spawned, 50u);
+  EXPECT_EQ(s.applied, 109u);
+  EXPECT_EQ(s.visitors_p50, 1u);
+  EXPECT_EQ(s.visitors_p99, 100u);  // the heavy tail survives the percentile
+  EXPECT_EQ(s.depth_p50, 0u);
+  EXPECT_EQ(s.depth_p99, 5u);
+  EXPECT_NEAR(s.cross_rank_ratio, 50.0 / 109.0, 1e-9);
+}
+
+TEST(LineageSnapshot, JsonRoundTripPreservesRecords) {
+  const CauseId c = make_cause(kMainOrigin, 9);
+  const LineageSnapshot snap = merge_lineage(two_rank_cells(c), 2, /*dropped=*/1);
+  const Json doc = snap.to_json();
+  EXPECT_EQ(doc.find("schema")->as_string(), "remo-lineage-1");
+
+  // Through a dump/parse cycle, as trace-analyze consumes it.
+  std::string err;
+  const Json parsed = Json::parse(doc.dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  LineageSnapshot back;
+  std::string perr;
+  ASSERT_TRUE(LineageSnapshot::from_json(parsed, back, &perr)) << perr;
+  EXPECT_EQ(back.ranks, 2u);
+  EXPECT_EQ(back.dropped, 1u);
+  ASSERT_EQ(back.records.size(), 1u);
+  const LineageRecord& r = back.records[0];
+  EXPECT_EQ(r.cause, c);
+  EXPECT_EQ(r.spawned, 1u);
+  EXPECT_EQ(r.applied, 2u);
+  EXPECT_EQ(r.ranks_touched, 2u);
+  EXPECT_EQ(r.first_ns, 100u);
+  EXPECT_EQ(r.last_ns, 300u);
+  ASSERT_EQ(r.path.size(), 2u);
+  EXPECT_EQ(r.path[1].vertex, 6u);
+
+  // Summary is recomputed identically from the parsed records.
+  EXPECT_EQ(back.summary().applied, snap.summary().applied);
+  EXPECT_EQ(back.summary().visitors_p50, snap.summary().visitors_p50);
+}
+
+TEST(LineageSnapshot, FromJsonRejectsWrongSchema) {
+  Json doc = Json::object();
+  doc["schema"] = "remo-stats-1";
+  LineageSnapshot out;
+  std::string err;
+  EXPECT_FALSE(LineageSnapshot::from_json(doc, out, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(LineageSnapshot, ToJsonHonoursMaxCausesCap) {
+  LineageTable t(64);
+  for (std::uint32_t seq = 1; seq <= 8; ++seq)
+    t.record_apply(make_cause(0, seq), 0, seq, seq * 10);
+  const LineageSnapshot snap = merge_lineage(t.snapshot(0), 1, 0);
+  EXPECT_EQ(snap.to_json().find("causes")->size(), 8u);
+  EXPECT_EQ(snap.to_json(3).find("causes")->size(), 3u);
+}
+
+TEST(AnalyzeLineage, ReportsSummaryAndCriticalPath) {
+  const CauseId c = make_cause(0, 7);
+  const LineageSnapshot snap = merge_lineage(two_rank_cells(c), 2, 0);
+  const std::string report = analyze_lineage(snap, 10);
+  EXPECT_NE(report.find("lineage: 1 causes sampled"), std::string::npos);
+  EXPECT_NE(report.find("amplification:"), std::string::npos);
+  EXPECT_NE(report.find("cross-rank hop ratio 1.000"), std::string::npos);
+  EXPECT_NE(report.find("r0#7"), std::string::npos);
+  // Witness chain with per-step rank attribution and relative times.
+  EXPECT_NE(report.find("d0 v5@r0 +50 ns"), std::string::npos);
+  EXPECT_NE(report.find("d1 v6@r1 +200 ns"), std::string::npos);
+}
+
+TEST(AnalyzeLineage, EmptySnapshotIsJustTheHeader) {
+  const std::string report = analyze_lineage(LineageSnapshot{}, 10);
+  EXPECT_NE(report.find("0 causes sampled"), std::string::npos);
+  EXPECT_EQ(report.find("amplification"), std::string::npos);
+}
+
+TEST(CausesBelowDescendants, FlagsCausesWithoutSpawns) {
+  LineageTable t(16);
+  const CauseId live = make_cause(0, 1), dead = make_cause(0, 2);
+  t.record_spawn(live, 0, false);
+  t.record_origin(dead, 50);  // sampled but never propagated anywhere
+  const LineageSnapshot snap = merge_lineage(t.snapshot(0), 1, 0);
+  const auto below = causes_below_descendants(snap, 1);
+  ASSERT_EQ(below.size(), 1u);
+  EXPECT_EQ(below[0], dead);
+  EXPECT_TRUE(causes_below_descendants(snap, 0).empty());
+}
+
+}  // namespace
+}  // namespace remo::obs::test

@@ -74,14 +74,26 @@ int usage() {
                "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n"
                "                [--stats] [--stats-json FILE] [--trace FILE]\n"
                "                [--latency-sample SHIFT]\n"
+               "                [--lineage] [--lineage-out FILE] [--lineage-sample SHIFT]\n"
                "                [--watch] [--metrics-out FILE] [--metrics-period MS]\n"
                "                [--metrics-format jsonl|prom] [--watchdog]\n"
+               "  remo trace-analyze --lineage FILE [--top K] [--min-descendants N]\n"
                "\n"
                "observability (docs/OBSERVABILITY.md):\n"
                "  --stats            print counters, latency percentiles, phase times\n"
                "  --stats-json FILE  write the same as JSON (schema remo-stats-1)\n"
                "  --trace FILE       capture a chrome://tracing / Perfetto trace\n"
                "  --latency-sample N time every 2^N-th update (default 6; 0 = all)\n"
+               "\n"
+               "causal lineage (docs/OBSERVABILITY.md \"Causal lineage\"):\n"
+               "  --lineage          trace sampled updates' propagation cascades\n"
+               "  --lineage-out FILE write the merged lineage (remo-lineage-1 JSON;\n"
+               "                     implies --lineage)\n"
+               "  --lineage-sample N stamp every 2^N-th topology event (default 6)\n"
+               "  trace-analyze      read a lineage dump; print amplification stats\n"
+               "                     and the top-K most expensive updates with their\n"
+               "                     critical paths; exit 1 when any sampled cause\n"
+               "                     spawned fewer than --min-descendants visitors\n"
                "\n"
                "live telemetry (sampled every --metrics-period ms, default 100):\n"
                "  --watch            refreshing one-line-per-rank live view of the\n"
@@ -169,6 +181,10 @@ int cmd_ingest(const Args& a) {
   cfg.obs.trace = !trace_path.empty();
   cfg.obs.latency_sample_shift = static_cast<std::uint32_t>(
       a.num("latency-sample", cfg.obs.latency_sample_shift));
+  const std::string lineage_out = a.str("lineage-out");
+  cfg.obs.lineage = a.flag("lineage") || !lineage_out.empty();
+  cfg.obs.lineage_sample_shift = static_cast<std::uint32_t>(
+      a.num("lineage-sample", cfg.obs.lineage_sample_shift));
   Engine engine(cfg);
 
   const std::string algo = a.str("algo", "none");
@@ -327,6 +343,74 @@ int cmd_ingest(const Args& a) {
       return 1;
     }
   }
+  if (cfg.obs.lineage) {
+    const obs::LineageSummary ls = engine.lineage_snapshot().summary();
+    std::printf(
+        "lineage: %s causes sampled — visitors/update p50 %s p99 %s, depth "
+        "p50 %u p99 %u, cross-rank ratio %.3f\n",
+        with_commas(ls.sampled).c_str(), with_commas(ls.visitors_p50).c_str(),
+        with_commas(ls.visitors_p99).c_str(), ls.depth_p50, ls.depth_p99,
+        ls.cross_rank_ratio);
+    if (!lineage_out.empty()) {
+      if (!engine.write_lineage(lineage_out)) {
+        std::fprintf(stderr, "failed to write lineage to %s\n",
+                     lineage_out.c_str());
+        return 1;
+      }
+      std::printf("lineage written to %s (analyze with `remo trace-analyze "
+                  "--lineage %s`)\n",
+                  lineage_out.c_str(), lineage_out.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_trace_analyze(const Args& a) {
+  const std::string path = a.str("lineage");
+  if (path.empty()) return usage();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    text.append(buf, n);
+  std::fclose(f);
+
+  std::string error;
+  const Json doc = Json::parse(text, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  obs::LineageSnapshot snap;
+  if (!obs::LineageSnapshot::from_json(doc, snap, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const std::size_t top_k = a.num("top", 10);
+  std::fputs(obs::analyze_lineage(snap, top_k).c_str(), stdout);
+
+  // CI gate: a sampled cause whose cascade spawned fewer visitors than
+  // expected means lineage threading went missing somewhere.
+  if (const std::uint64_t min_desc = a.num("min-descendants", 0); min_desc > 0) {
+    const auto bad = obs::causes_below_descendants(snap, min_desc);
+    if (!bad.empty()) {
+      std::fprintf(stderr,
+                   "%zu sampled cause(s) spawned fewer than %llu visitors:",
+                   bad.size(), static_cast<unsigned long long>(min_desc));
+      for (std::size_t i = 0; i < bad.size() && i < 16; ++i)
+        std::fprintf(stderr, " %u", bad[i]);
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    std::printf("all %zu sampled causes spawned >= %llu visitor(s)\n",
+                snap.records.size(), static_cast<unsigned long long>(min_desc));
+  }
   return 0;
 }
 
@@ -337,5 +421,6 @@ int main(int argc, char** argv) {
   if (a.command == "generate") return cmd_generate(a);
   if (a.command == "stats") return cmd_stats(a);
   if (a.command == "ingest") return cmd_ingest(a);
+  if (a.command == "trace-analyze") return cmd_trace_analyze(a);
   return usage();
 }
