@@ -64,6 +64,7 @@ BenchReport::BenchReport(std::string name, std::string title)
   doc_["title"] = std::move(title);
   doc_["scale_shift"] = bench_scale_from_env().scale_shift;
   doc_["repeats"] = repeats_from_env();
+  doc_["config"] = comm_config_json();
   doc_["runs"] = Json::array();
 }
 
@@ -117,6 +118,29 @@ void apply_obs_env(EngineConfig& cfg) {
     if (shift >= 0 && shift <= 32)
       cfg.obs.lineage_sample_shift = static_cast<std::uint32_t>(shift);
   }
+}
+
+void apply_comm_env(EngineConfig& cfg) {
+  if (const char* b = std::getenv("REMO_BATCH_SIZE")) {
+    const long n = std::atol(b);
+    if (n > 0) cfg.batch_size = static_cast<std::size_t>(n);
+  }
+  if (const char* off = std::getenv("REMO_NO_COALESCE"); off && *off && *off != '0')
+    cfg.coalesce = false;
+  if (const char* r = std::getenv("REMO_RING_CAPACITY")) {
+    const long n = std::atol(r);
+    if (n > 0) cfg.mailbox_ring_capacity = static_cast<std::size_t>(n);
+  }
+}
+
+Json comm_config_json() {
+  EngineConfig cfg;
+  apply_comm_env(cfg);
+  Json j = Json::object();
+  j["batch_size"] = static_cast<std::uint64_t>(cfg.batch_size);
+  j["coalesce"] = cfg.coalesce;
+  j["mailbox_ring_capacity"] = static_cast<std::uint64_t>(cfg.mailbox_ring_capacity);
+  return j;
 }
 
 void write_lineage_from_env(const Engine& engine) {

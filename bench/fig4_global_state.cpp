@@ -31,7 +31,10 @@ int main() {
   // early in a scrambled RMAT stream).
   const VertexId source = edges.front().src;
 
-  Engine engine(EngineConfig{.num_ranks = ranks});
+  EngineConfig cfg{.num_ranks = ranks};
+  apply_obs_env(cfg);
+  apply_comm_env(cfg);
+  Engine engine(cfg);
   auto [id, bfs] = engine.attach_make<DynamicBfs>(source);
   engine.inject_init(id, source);
 

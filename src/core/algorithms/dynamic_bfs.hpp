@@ -40,6 +40,13 @@ class DynamicBfs : public VertexProgram {
     // this filter would suppress.
     return !opts_.deterministic_parents && nbr_cache <= value;
   }
+  // Levels only shrink, so a sender's latest offer subsumes its earlier
+  // ones: min-merge. Kept off in deterministic-parent mode for the same
+  // reason as update_is_redundant above.
+  bool can_combine() const override { return !opts_.deterministic_parents; }
+  StateWord combine(StateWord a, StateWord b) const override {
+    return a < b ? a : b;
+  }
 
   VertexId source() const noexcept { return source_; }
 

@@ -21,6 +21,11 @@ class DynamicCc : public VertexProgram {
   bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
     return nbr_cache >= value;
   }
+  // Labels only grow toward the component maximum: max-merge.
+  bool can_combine() const override { return true; }
+  StateWord combine(StateWord a, StateWord b) const override {
+    return a > b ? a : b;
+  }
 
   void on_add(VertexContext& ctx, VertexId /*nbr*/, Weight /*w*/) override {
     ensure_label(ctx);

@@ -29,6 +29,11 @@ class DynamicSssp : public VertexProgram {
   bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
     return !opts_.deterministic_parents && nbr_cache <= value;
   }
+  // Distances only shrink: min-merge, same gating as update_is_redundant.
+  bool can_combine() const override { return !opts_.deterministic_parents; }
+  StateWord combine(StateWord a, StateWord b) const override {
+    return a < b ? a : b;
+  }
 
   VertexId source() const noexcept { return source_; }
 

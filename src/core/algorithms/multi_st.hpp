@@ -28,6 +28,9 @@ class MultiStConnectivity : public VertexProgram {
   bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
     return (nbr_cache | value) == nbr_cache;
   }
+  // Reachability bitsets only gain bits: union-merge.
+  bool can_combine() const override { return true; }
+  StateWord combine(StateWord a, StateWord b) const override { return a | b; }
 
   const std::vector<VertexId>& sources() const noexcept { return sources_; }
 

@@ -143,7 +143,7 @@ constexpr auto kPollInterval = std::chrono::microseconds(50);
 Engine::Engine(EngineConfig cfg)
     : cfg_(cfg),
       part_(cfg.num_ranks, cfg.partition),
-      comm_(cfg.num_ranks, cfg.batch_size),
+      comm_(cfg.num_ranks, cfg.batch_size, cfg.mailbox_ring_capacity),
       safra_(cfg.num_ranks) {
   REMO_CHECK(cfg_.num_ranks > 0);
   trace_base_ns_ = obs::monotonic_ns();
@@ -198,6 +198,17 @@ ProgramId Engine::attach(std::shared_ptr<VertexProgram> program) {
   const ProgramId id = static_cast<ProgramId>(programs_.size());
   programs_.push_back(std::move(program));
   for (auto& rt : ranks_) rt->progs.emplace_back();
+  // Hand the communicator a type-erased combine thunk so same-sender
+  // Update visitors can be merged in the send buffers and drained batches
+  // (runtime/ cannot name VertexProgram; the engine is idle here, and every
+  // later visitor is published-after this write — see Comm::Combiner).
+  const VertexProgram* p = programs_.back().get();
+  if (cfg_.coalesce && p->can_combine()) {
+    comm_.register_combiner(
+        id, p, [](const void* prog, StateWord a, StateWord b) {
+          return static_cast<const VertexProgram*>(prog)->combine(a, b);
+        });
+  }
   return id;
 }
 
@@ -621,7 +632,12 @@ bool Engine::write_trace(const std::string& path) const {
 std::vector<RankMetrics> Engine::rank_metrics() const {
   std::vector<RankMetrics> out;
   out.reserve(ranks_.size());
-  for (const auto& rt : ranks_) out.push_back(rt->metrics.snapshot());
+  for (const auto& rt : ranks_) {
+    out.push_back(rt->metrics.snapshot());
+    // Spill accounting lives in the mailbox (the *receiving* side), so a
+    // rank's row reports overflows into its own ingress queue.
+    out.back().ring_overflows = comm_.overflows(rt->rank);
+  }
   return out;
 }
 
@@ -652,6 +668,8 @@ obs::GaugeSample Engine::sample_gauges() const {
     const auto& rt = *ranks_[r];
     obs::RankGaugeSample g;
     g.queue_depth = comm_.queue_depth(r);
+    g.ring_occupancy = comm_.ring_depth(r);
+    g.overflow_depth = comm_.overflow_depth(r);
     g.events_ingested = rt.gauges.events_ingested.load(std::memory_order_relaxed);
     g.events_applied = rt.metrics.topology_events.load();
     g.converged_through = rt.gauges.converged_through.load(std::memory_order_relaxed);

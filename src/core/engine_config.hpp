@@ -27,6 +27,24 @@ struct EngineConfig {
   /// Send-buffer batch size (visitors aggregate per destination rank).
   std::size_t batch_size = 128;
 
+  /// Merge same-(program, target, sender, epoch) Update visitors in the
+  /// send buffers and in drained batches via VertexProgram::combine
+  /// (monotone programs that opt in with can_combine(); DESIGN.md §6).
+  /// Off: every visitor travels and is dispatched verbatim — the A/B arm
+  /// for determinism tests and `--no-coalesce`.
+  bool coalesce = true;
+
+  /// Per-producer SPSC ring capacity of each mailbox, in visitors (rounded
+  /// up to a power of two). Ring-full pushes spill to a mutexed overflow
+  /// segment and show up in the ring_overflows counter. Sized so that a
+  /// producer burning a full scheduler timeslice while the consumer is
+  /// descheduled does not spill: at 1024 slots roughly half of all fig6
+  /// messages took the mutex path, erasing the lock-free win. Memory is
+  /// ranks^2 rings x capacity x sizeof(Visitor) — ~40 MiB at 8 ranks —
+  /// which is the intended trade for a thread-backed single-node deploy;
+  /// dial down for large rank counts.
+  std::size_t mailbox_ring_capacity = 16384;
+
   /// How many stream events a rank pulls per loop iteration once its
   /// mailbox is drained. Small values favour algorithm-event latency;
   /// large values favour raw ingest (the prioritisation trade-off the

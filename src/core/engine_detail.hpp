@@ -123,6 +123,16 @@ struct RankRuntime {
   std::mutex harvest_mutex;
   std::vector<Snapshot::Entry> harvest_out;
 
+  // Receiver-side coalescing scratch (the drained-batch merge pass in
+  // rank_main): open-addressing slots invalidated wholesale by bumping
+  // the stamp. This rank's thread only.
+  struct MergeSlot {
+    std::uint32_t stamp = 0;
+    std::uint32_t pos = 0;
+  };
+  std::vector<MergeSlot> merge_slots;
+  std::uint32_t merge_stamp = 0;
+
   explicit RankRuntime(StoreConfig store_cfg) : store(store_cfg) {}
 
   /// Route a visitor to the owner of its target vertex. Taken by value:
@@ -132,22 +142,29 @@ struct RankRuntime {
   /// is covered without touching the call sites.
   void send(Visitor v) {
     const RankId to = part->owner(v.target);
+    if (lineage && v.kind != VisitKind::kControl && v.cause == 0 &&
+        cur_cause != 0) {
+      v.cause = cur_cause;
+      // Saturate: a >65k-hop cascade keeps reporting the max depth
+      // rather than wrapping back to the root.
+      v.hop = cur_hop == 0xFFFF ? cur_hop
+                                : static_cast<std::uint16_t>(cur_hop + 1);
+    }
+    if (comm->send(rank, to, v)) {
+      // Coalesced into an already-buffered visitor: no new message exists,
+      // so neither the in-flight counters, Safra's balance, messages_sent,
+      // nor the lineage spawn log may see it (the surviving visitor's
+      // record covers the cascade edge).
+      ++metrics.coalesced_sends;
+      return;
+    }
     ++metrics.messages_sent;
     if (to != rank)
       ++metrics.remote_messages;
     else
       ++metrics.local_messages;
-    if (lineage && v.kind != VisitKind::kControl) {
-      if (v.cause == 0 && cur_cause != 0) {
-        v.cause = cur_cause;
-        // Saturate: a >65k-hop cascade keeps reporting the max depth
-        // rather than wrapping back to the root.
-        v.hop = cur_hop == 0xFFFF ? cur_hop
-                                  : static_cast<std::uint16_t>(cur_hop + 1);
-      }
-      if (v.cause != 0) lineage->record_spawn(v.cause, v.hop, to != rank);
-    }
-    comm->send(rank, to, v);
+    if (lineage && v.kind != VisitKind::kControl && v.cause != 0)
+      lineage->record_spawn(v.cause, v.hop, to != rank);
     if (v.kind != VisitKind::kControl) safra->on_basic_send(rank);
   }
 

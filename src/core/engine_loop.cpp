@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "core/engine_detail.hpp"
@@ -14,6 +15,20 @@ namespace remo {
 namespace {
 
 constexpr auto kParkInterval = std::chrono::microseconds(200);
+
+// Passive-iteration pacing. A rank that finds nothing to do yields its
+// timeslice a few times before parking — on an oversubscribed host that
+// hands the CPU straight to whichever rank *does* have work, and a push
+// that lands meanwhile is picked up without the producer paying a futex
+// wake (the consumer never advertised `parked_`). Only after
+// kYieldIterations empty passes does the rank park, and then with a
+// timeout that doubles per further empty pass up to
+// kParkInterval << kMaxParkShift. Every state change that matters is
+// wakeup-driven (push -> notify, token -> interrupt, ingest/epoch ->
+// interrupt_all), so the timed park is purely a liveness backstop and
+// lengthening it cannot lose events (DESIGN.md §6).
+constexpr std::uint32_t kYieldIterations = 4;
+constexpr std::uint32_t kMaxParkShift = 4;  // 200us << 4 = 3.2ms cap
 
 }  // namespace
 
@@ -76,7 +91,7 @@ void Engine::process_topology_add(detail::RankRuntime& rt, const Visitor& v) {
   ++rt.metrics.topology_events;
   const auto res = rt.store.insert_edge(v.target, v.other, v.weight);
   if (res.new_edge) ++rt.metrics.edges_stored;
-  TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+  TwoTierAdjacency* const adj = res.adj;  // insert already probed the record
   for (ProgramId p = 0; p < rt.progs.size(); ++p)
     dispatch_views(rt, v, p, adj, [&](VertexContext& ctx) {
       programs_[p]->on_add(ctx, v.other, v.weight);
@@ -162,12 +177,11 @@ void Engine::dispatch_visitor(detail::RankRuntime& rt, const Visitor& v) {
       const auto res = rt.store.insert_edge(v.target, v.other, v.weight);
       if (res.new_edge) ++rt.metrics.edges_stored;
       if (v.algo != Visitor::kTopologyAlgo) {
-        TwoTierAdjacency* adj = rt.store.adjacency(v.target);
         // Deposit the sender's state into the edge cache (Algorithm 3:
-        // this.nbrs.set(vis_ID, vis_val)).
-        if (adj)
-          if (EdgeProp* prop = adj->find(v.other)) prop->set_cache(v.algo, v.value);
-        dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
+        // this.nbrs.set(vis_ID, vis_val)) — straight into the slot the
+        // insert just returned, no re-probe.
+        res.prop->set_cache(v.algo, v.value);
+        dispatch_views(rt, v, v.algo, res.adj, [&](VertexContext& ctx) {
           programs_[v.algo]->on_reverse_add(ctx, v.other, v.value, v.weight);
         });
       }
@@ -414,6 +428,7 @@ void Engine::absorb_pending_triggers(detail::RankRuntime& rt) {
 void Engine::rank_main(RankId r) {
   detail::RankRuntime& rt = *ranks_[r];
   std::vector<Visitor> batch;
+  std::uint32_t passive_streak = 0;  // consecutive no-work iterations
   Xoshiro256 chaos_rng(0xC4A05ULL * (r + 1));
 
   // Observability switches, hoisted so the hot path pays one branch each.
@@ -441,6 +456,73 @@ void Engine::rank_main(RankId r) {
       return;
     }
     process_visitor(rt, v);
+  };
+
+  // Receiver-side coalescing: merge later same-(program, target, sender,
+  // epoch) Updates in a drained batch into the earliest occurrence, which
+  // then dispatches once with the combined payload. Each merged-away
+  // visitor DID travel (it was counted in flight and in Safra's balance by
+  // its sender), so it is retired here exactly as if its callback had run
+  // as a no-op: note_processed + on_basic_receive, before dispatch of the
+  // survivors (DESIGN.md §6). Epoch is part of the key, so a visitor can
+  // never smuggle its payload across a versioned-collection boundary.
+  // Re-checked every drain, not cached at thread start: rank threads are
+  // born in the Engine ctor, before any attach() can register a combiner.
+  // The pass runs in fixed-size windows so the probe index stays L2-sized
+  // no matter how large a backlogged drain gets: a multi-hundred-thousand
+  // visitor batch with a proportionally sized index turns every probe into
+  // a cache miss and costs more than the merges save. Duplicates that
+  // straddle a window boundary simply both survive — merging any subset of
+  // duplicates is sound, and same-sender re-offers cluster temporally, so
+  // window-local merging catches nearly all of them.
+  const auto coalesce_batch = [&](std::vector<Visitor>& b) {
+    constexpr std::size_t kWindow = 8192;      // visitors per merge window
+    constexpr std::size_t kSlots = 2 * kWindow;  // 128 KiB of MergeSlot
+    if (rt.merge_slots.size() < kSlots) {
+      rt.merge_slots.assign(kSlots, {});
+      rt.merge_stamp = 0;
+    }
+    const std::uint64_t mask = kSlots - 1;
+    std::size_t w = 0;
+    for (std::size_t win = 0; win < b.size(); win += kWindow) {
+      if (++rt.merge_stamp == 0) {  // uint32 wrap: hard-reset the slots
+        std::fill(rt.merge_slots.begin(), rt.merge_slots.end(),
+                  detail::RankRuntime::MergeSlot{});
+        rt.merge_stamp = 1;
+      }
+      const std::size_t end = std::min(b.size(), win + kWindow);
+      for (std::size_t i = win; i < end; ++i) {
+        const Visitor v = b[i];
+        const Comm::Combiner* c =
+            v.kind == VisitKind::kUpdate ? comm_.combiner(v.algo) : nullptr;
+        if (c == nullptr) {
+          b[w++] = v;
+          continue;
+        }
+        std::uint64_t h = splitmix64(v.target);
+        h = hash_combine(h, v.other);
+        h = hash_combine(h, (static_cast<std::uint64_t>(v.epoch) << 8) | v.algo);
+        for (std::uint64_t s = h & mask;; s = (s + 1) & mask) {
+          auto& slot = rt.merge_slots[s];
+          if (slot.stamp != rt.merge_stamp) {
+            slot.stamp = rt.merge_stamp;
+            slot.pos = static_cast<std::uint32_t>(w);
+            b[w++] = v;
+            break;
+          }
+          Visitor& e = b[slot.pos];
+          if (e.kind == VisitKind::kUpdate && e.algo == v.algo &&
+              e.target == v.target && e.other == v.other && e.epoch == v.epoch) {
+            e.value = c->fn(c->prog, e.value, v.value);
+            comm_.note_processed(v.epoch, r);
+            safra_.on_basic_receive(r);
+            ++rt.metrics.receiver_merges;
+            break;
+          }
+        }
+      }
+    }
+    b.resize(w);
   };
 
   while (!shutdown_.load(std::memory_order_acquire)) {
@@ -473,14 +555,17 @@ void Engine::rank_main(RankId r) {
     //    priority over new topology pulls (Section V-C's prioritisation).
     if (comm_.drain(r, batch)) {
       did_work = true;
+      passive_streak = 0;
       rt.obs_control_ns = 0;
+      if (batch.size() > 1 && cfg_.coalesce && comm_.has_combiners())
+        coalesce_batch(batch);
       for (const Visitor& v : batch) {
         if (v.kind == VisitKind::kControl) {
           handle_control(rt, v);
         } else {
           safra_.on_basic_receive(r);
           process_one(v);
-          comm_.note_processed(v.epoch);
+          comm_.note_processed(v.epoch, r);
         }
       }
       comm_.flush(r);
@@ -497,7 +582,11 @@ void Engine::rank_main(RankId r) {
     // 2) Saturation ingest: pull the next chunk from this rank's streams
     //    (round-robin across them — streams are mutually concurrent, each
     //    internally FIFO).
-    if (rt.stream_remaining.load(std::memory_order_relaxed) > 0 &&
+    // Acquire pairs with ingest_async's release store: seeing a nonzero
+    // remaining count must also make the just-assigned stream cursors
+    // visible (the old mutexed mailbox synchronised this by accident; the
+    // lock-free one does not).
+    if (rt.stream_remaining.load(std::memory_order_acquire) > 0 &&
         !streams_paused_.load(std::memory_order_acquire)) {
       std::size_t pulled = 0;
       for (; pulled < cfg_.stream_chunk; ++pulled) {
@@ -528,7 +617,7 @@ void Engine::rank_main(RankId r) {
         }
         did_work = true;
         if (part_.owner(e.src) == r) {
-          comm_.note_injected(iter_epoch);
+          comm_.note_injected(iter_epoch, r);
           // Ingest-watermark bump AFTER the in-flight increment (release
           // store): a gauge sampler that sees the count also sees the
           // event as in flight or applied — never as missing. Single
@@ -538,7 +627,7 @@ void Engine::rank_main(RankId r) {
               std::memory_order_release);
           rt.stream_remaining.fetch_sub(1, std::memory_order_release);
           process_one(vis);
-          comm_.note_processed(iter_epoch);
+          comm_.note_processed(iter_epoch, r);
         } else {
           rt.send(vis);  // Comm::send counts it in flight first
           rt.gauges.events_ingested.store(
@@ -548,6 +637,7 @@ void Engine::rank_main(RankId r) {
         }
       }
       if (did_work) {
+        passive_streak = 0;
         comm_.flush(r);
         if (obs_time) {
           const std::uint64_t dt = obs_now() - iter_t0;
@@ -574,7 +664,20 @@ void Engine::rank_main(RankId r) {
       if (cfg_.termination == TerminationMode::kSafra) handle_safra_idle(rt);
     }
     rt.gauges.idle.store(true, std::memory_order_relaxed);
-    comm_.mailbox(r).wait(kParkInterval);
+    if (passive_streak < kYieldIterations && !rt.token_parked) {
+      // Early in an idle spell: give the timeslice away without parking.
+      std::this_thread::yield();
+    } else {
+      // A throttled Safra restart (`token_parked`) must wait out a *timed*
+      // park before re-circulating — a yield would let an unterminated
+      // probe spin tokens continuously — so it skips the yield phase.
+      const std::uint32_t shift =
+          passive_streak < kYieldIterations
+              ? 0
+              : std::min(passive_streak - kYieldIterations, kMaxParkShift);
+      comm_.mailbox(r).wait(kParkInterval * (1u << shift));
+    }
+    ++passive_streak;
     rt.gauges.idle.store(false, std::memory_order_relaxed);
     if (rt.obs_phases) rt.phases.add(obs::Phase::kQuiesce, obs_now() - iter_t0);
   }

@@ -118,6 +118,27 @@ class VertexProgram {
   /// monotone order (BFS: a <= b). Drives monotonicity property tests.
   virtual bool no_worse(StateWord a, StateWord b) const { return a <= b; }
 
+  /// Opt-in for visitor coalescing: true when two Update visitors from the
+  /// *same sender* to the *same target* may be merged en route into one
+  /// carrying combine(a, b). Sound exactly when the program is monotone
+  /// and combine picks a value that is no_worse than both inputs — the
+  /// receiver then observes the sender's best offer instead of a replayed
+  /// history of dominated ones, which a monotone callback cannot
+  /// distinguish from the messages simply arriving late (DESIGN.md §6 has
+  /// the proof sketch, including why *cross*-sender merging is unsound).
+  /// Default off: programs that react to every message (counting,
+  /// non-monotone folds) must see the full stream.
+  virtual bool can_combine() const { return false; }
+
+  /// Merge two same-sender Update payloads (consulted only when
+  /// can_combine()). Must be commutative, associative, idempotent, and
+  /// satisfy no_worse(combine(a, b), a) && no_worse(combine(a, b), b) —
+  /// BFS/SSSP: min; CC: max. Property-tested in test_coalescing.cpp.
+  virtual StateWord combine(StateWord a, StateWord b) const {
+    (void)b;
+    return a;
+  }
+
   /// Neighbour-cache suppression (the optimisation Algorithm 3's per-edge
   /// `nbrs` values enable): before update_all_nbrs sends `value` to a
   /// neighbour, the engine consults the last state heard *from* that

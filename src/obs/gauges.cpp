@@ -34,6 +34,8 @@ Json GaugeSample::to_json(bool include_per_rank) const {
       Json jr = Json::object();
       jr["rank"] = r;
       jr["queue_depth"] = g.queue_depth;
+      jr["ring_occupancy"] = g.ring_occupancy;
+      jr["overflow_depth"] = g.overflow_depth;
       jr["events_ingested"] = g.events_ingested;
       jr["events_applied"] = g.events_applied;
       jr["converged_through"] = g.converged_through;
@@ -125,6 +127,16 @@ std::string GaugeSample::to_prometheus() const {
   for (std::size_t r = 0; r < per_rank.size(); ++r)
     w.labelled("remo_queue_depth", "rank", strfmt("%zu", r),
                per_rank[r].queue_depth);
+  w.header("remo_ring_occupancy",
+           "Visitors parked in the mailbox SPSC rings", "gauge");
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    w.labelled("remo_ring_occupancy", "rank", strfmt("%zu", r),
+               per_rank[r].ring_occupancy);
+  w.header("remo_overflow_depth",
+           "Visitors in the mailbox overflow segment", "gauge");
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    w.labelled("remo_overflow_depth", "rank", strfmt("%zu", r),
+               per_rank[r].overflow_depth);
   w.header("remo_rank_events_applied_total",
            "Topology events applied by each rank", "counter");
   for (std::size_t r = 0; r < per_rank.size(); ++r)

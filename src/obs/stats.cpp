@@ -37,6 +37,9 @@ Json counters_to_json(const MetricsSummary& c) {
   j["local_messages"] = c.local_messages;
   j["control_messages"] = c.control_messages;
   j["edges_stored"] = c.edges_stored;
+  j["coalesced_sends"] = c.coalesced_sends;
+  j["receiver_merges"] = c.receiver_merges;
+  j["ring_overflows"] = c.ring_overflows;
   return j;
 }
 
@@ -49,6 +52,9 @@ MetricsSummary summary_of(const RankMetrics& m) {
   s.local_messages = m.local_messages;
   s.edges_stored = m.edges_stored;
   s.control_messages = m.control_messages;
+  s.coalesced_sends = m.coalesced_sends;
+  s.receiver_merges = m.receiver_merges;
+  s.ring_overflows = m.ring_overflows;
   return s;
 }
 
@@ -99,6 +105,13 @@ std::string MetricsSnapshot::to_text() const {
                 with_commas(counters.remote_messages).c_str(),
                 with_commas(counters.control_messages).c_str());
   out += strfmt("  edges_stored      %s\n", with_commas(counters.edges_stored).c_str());
+  if (counters.coalesced_sends || counters.receiver_merges ||
+      counters.ring_overflows) {
+    out += strfmt("  coalesced         %s send-side, %s receiver-side (%s ring overflows)\n",
+                  with_commas(counters.coalesced_sends).c_str(),
+                  with_commas(counters.receiver_merges).c_str(),
+                  with_commas(counters.ring_overflows).c_str());
+  }
   const HistogramSnapshot& h = update_latency_ns;
   if (h.count > 0) {
     out += strfmt("per-update latency (%s samples):\n", with_commas(h.count).c_str());

@@ -53,6 +53,9 @@ struct RankMetrics {
   std::uint64_t local_messages = 0;    ///< self-sends (loop-back fast path)
   std::uint64_t edges_stored = 0;      ///< directed edges resident
   std::uint64_t control_messages = 0;  ///< termination tokens, markers
+  std::uint64_t coalesced_sends = 0;   ///< visitors merged away in send buffers
+  std::uint64_t receiver_merges = 0;   ///< visitors merged away after drain
+  std::uint64_t ring_overflows = 0;    ///< visitors that spilled past the SPSC rings
 };
 
 /// Recording side: same fields as RankMetrics, as RelaxedCounter cells.
@@ -65,8 +68,12 @@ struct alignas(64) LiveRankMetrics {
   RelaxedCounter local_messages;
   RelaxedCounter edges_stored;
   RelaxedCounter control_messages;
+  RelaxedCounter coalesced_sends;
+  RelaxedCounter receiver_merges;
 
   /// Racy-read value copy (see RelaxedCounter for the semantics).
+  /// `ring_overflows` lives in the mailbox, not here — the engine fills it
+  /// in when it assembles per-rank snapshots.
   RankMetrics snapshot() const noexcept {
     RankMetrics s;
     s.topology_events = topology_events.load();
@@ -76,6 +83,8 @@ struct alignas(64) LiveRankMetrics {
     s.local_messages = local_messages.load();
     s.edges_stored = edges_stored.load();
     s.control_messages = control_messages.load();
+    s.coalesced_sends = coalesced_sends.load();
+    s.receiver_merges = receiver_merges.load();
     return s;
   }
 };
@@ -88,6 +97,9 @@ struct MetricsSummary {
   std::uint64_t local_messages = 0;
   std::uint64_t edges_stored = 0;
   std::uint64_t control_messages = 0;
+  std::uint64_t coalesced_sends = 0;
+  std::uint64_t receiver_merges = 0;
+  std::uint64_t ring_overflows = 0;
 
   static MetricsSummary aggregate(const std::vector<RankMetrics>& per_rank) {
     MetricsSummary s;
@@ -99,6 +111,9 @@ struct MetricsSummary {
       s.local_messages += m.local_messages;
       s.edges_stored += m.edges_stored;
       s.control_messages += m.control_messages;
+      s.coalesced_sends += m.coalesced_sends;
+      s.receiver_merges += m.receiver_merges;
+      s.ring_overflows += m.ring_overflows;
     }
     return s;
   }

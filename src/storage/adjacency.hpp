@@ -65,25 +65,32 @@ class TwoTierAdjacency {
   /// (keeping the latest weight); the multigraph event count is tracked by
   /// the engine, not the store.
   bool insert(VertexId nbr, Weight w, std::uint32_t promote_threshold) {
+    return insert_get(nbr, w, promote_threshold).second;
+  }
+
+  /// insert() that also hands back the edge's property slot, so callers
+  /// that deposit into the neighbour cache right after inserting (the
+  /// Reverse-Add hot path) skip a second probe. The pointer is valid until
+  /// the next mutation of this adjacency.
+  std::pair<EdgeProp*, bool> insert_get(VertexId nbr, Weight w,
+                                        std::uint32_t promote_threshold) {
     if (!promoted()) {
       for (auto& e : inline_) {
         if (e.nbr == nbr) {
           e.prop.weight = w;
-          return false;
+          return {&e.prop, false};
         }
       }
       if (inline_.size() < promote_threshold) {
         inline_.emplace_back(InlineEdge{nbr, EdgeProp{.weight = w}});
-        return true;
+        return {&inline_.back().prop, true};
       }
       promote();
     }
-    const bool fresh = !table_.contains(nbr);
-    if (fresh)
-      table_.insert_or_assign(nbr, EdgeProp{.weight = w});
-    else
-      table_.find(nbr)->weight = w;
-    return fresh;
+    auto [prop, fresh] =
+        table_.find_or_emplace(nbr, [&] { return EdgeProp{.weight = w}; });
+    if (!fresh) prop->weight = w;
+    return {prop, fresh};
   }
 
   /// Remove the edge to `nbr`; returns true when it existed.

@@ -26,6 +26,12 @@ class DegAwareStore {
   struct InsertResult {
     bool new_vertex;  ///< the source vertex record was created by this call
     bool new_edge;    ///< the edge did not previously exist
+    /// The source vertex's adjacency and the inserted edge's property slot
+    /// — handed back so the ingest hot path does not pay further probes to
+    /// re-find what the insert just touched. Valid until the next mutation
+    /// of the store.
+    TwoTierAdjacency* adj;
+    EdgeProp* prop;
   };
 
   DegAwareStore() = default;
@@ -35,9 +41,9 @@ class DegAwareStore {
   /// vertex record on first touch.
   InsertResult insert_edge(VertexId src, VertexId dst, Weight w) {
     auto [record, fresh] = touch(src);
-    const bool new_edge = record->adj.insert(dst, w, cfg_.promote_threshold);
+    auto [prop, new_edge] = record->adj.insert_get(dst, w, cfg_.promote_threshold);
     edge_count_ += new_edge ? 1 : 0;
-    return {fresh, new_edge};
+    return {fresh, new_edge, &record->adj, prop};
   }
 
   /// Remove directed edge src -> dst; returns true when it existed.
@@ -111,9 +117,7 @@ class DegAwareStore {
   };
 
   std::pair<VertexRecord*, bool> touch(VertexId v) {
-    if (VertexRecord* rec = vertices_.find(v)) return {rec, false};
-    VertexRecord& rec = vertices_.get_or_insert(v);
-    return {&rec, true};
+    return vertices_.find_or_emplace(v, [] { return VertexRecord{}; });
   }
 
   StoreConfig cfg_{};

@@ -47,8 +47,21 @@ GaugeSample make_sample() {
   s.safra_probe_rounds = 12;
   s.safra_probe_active = true;
   s.per_rank.resize(2);
-  s.per_rank[0] = RankGaugeSample{12, 600, 500, 480, 100'000'000, 7, false};
-  s.per_rank[1] = RankGaugeSample{5, 400, 400, 400, 0, 3, true};
+  s.per_rank[0] = RankGaugeSample{.queue_depth = 12,
+                                  .ring_occupancy = 9,
+                                  .overflow_depth = 3,
+                                  .events_ingested = 600,
+                                  .events_applied = 500,
+                                  .converged_through = 480,
+                                  .staleness_ns = 100'000'000,
+                                  .trace_emitted = 7,
+                                  .idle = false};
+  s.per_rank[1] = RankGaugeSample{.queue_depth = 5,
+                                  .events_ingested = 400,
+                                  .events_applied = 400,
+                                  .converged_through = 400,
+                                  .trace_emitted = 3,
+                                  .idle = true};
   return s;
 }
 
@@ -71,6 +84,8 @@ TEST(GaugeSample, JsonRecordHasSchemaAndAllGauges) {
   ASSERT_NE(ranks, nullptr);
   ASSERT_EQ(ranks->size(), 2u);
   EXPECT_EQ(ranks->items()[0].find("queue_depth")->as_uint(), 12u);
+  EXPECT_EQ(ranks->items()[0].find("ring_occupancy")->as_uint(), 9u);
+  EXPECT_EQ(ranks->items()[0].find("overflow_depth")->as_uint(), 3u);
   EXPECT_TRUE(ranks->items()[1].find("idle")->as_bool());
 
   // Round-trips through the parser and honours include_per_rank = false.
@@ -102,6 +117,8 @@ TEST(GaugeSample, PrometheusExpositionIsWellFormed) {
   EXPECT_NE(text.find("remo_in_flight_messages 42\n"), std::string::npos);
   EXPECT_NE(text.find("remo_queue_depth{rank=\"0\"} 12\n"), std::string::npos);
   EXPECT_NE(text.find("remo_queue_depth{rank=\"1\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("remo_ring_occupancy{rank=\"0\"} 9\n"), std::string::npos);
+  EXPECT_NE(text.find("remo_overflow_depth{rank=\"0\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("remo_rank_idle{rank=\"1\"} 1\n"), std::string::npos);
   EXPECT_EQ(text.find("nan"), std::string::npos);
 }

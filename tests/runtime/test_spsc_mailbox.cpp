@@ -1,0 +1,209 @@
+// The SPSC-ring fast path of Mailbox: per-producer FIFO across the
+// ring/overflow boundary, the sticky spill protocol, the eventcount
+// parking handshake, and the occupancy/overflow accessors the gauges and
+// counters read. These are the lock-free paths the engine's rank threads
+// exercise; the multi-threaded tests here are the TSan targets for them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+
+namespace remo::test {
+namespace {
+
+Visitor tagged(VertexId producer, StateWord seq) {
+  Visitor v{};
+  v.target = producer;
+  v.value = seq;
+  return v;
+}
+
+std::vector<Visitor> batch_of(VertexId producer, StateWord first, std::size_t n) {
+  std::vector<Visitor> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(tagged(producer, first + static_cast<StateWord>(i)));
+  return out;
+}
+
+TEST(SpscMailbox, RingPathDeliversInOrderWithoutSpilling) {
+  Mailbox box(/*producers=*/1, /*ring_capacity=*/64);
+  EXPECT_EQ(box.producers(), 1u);
+  box.push_from(0, batch_of(0, 0, 10));
+  box.push_from(0, batch_of(0, 10, 10));
+  EXPECT_EQ(box.ring_depth(), 20u);
+  EXPECT_EQ(box.overflow_depth(), 0u);
+  EXPECT_EQ(box.overflows(), 0u);
+  EXPECT_EQ(box.approx_depth(), 20u);
+
+  std::vector<Visitor> out;
+  ASSERT_TRUE(box.drain(out));
+  ASSERT_EQ(out.size(), 20u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].value, i);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.overflows(), 0u);  // everything fit in the ring
+}
+
+TEST(SpscMailbox, SpillPreservesFifoAcrossRingOverflowBoundary) {
+  // Capacity 8: a 20-visitor batch fills the ring and spills 12.
+  Mailbox box(/*producers=*/1, /*ring_capacity=*/8);
+  box.push_from(0, batch_of(0, 0, 20));
+  EXPECT_EQ(box.ring_depth(), 8u);
+  EXPECT_EQ(box.overflow_depth(), 12u);
+  EXPECT_EQ(box.overflows(), 12u);
+  EXPECT_EQ(box.approx_depth(), 20u);
+
+  // Sticky spill: the ring has no room anyway, but even after the consumer
+  // would make room, a spilled producer keeps appending to overflow until
+  // a drain clears the flag — so this batch lands entirely in overflow.
+  box.push_from(0, batch_of(0, 20, 5));
+  EXPECT_EQ(box.ring_depth(), 8u);
+  EXPECT_EQ(box.overflow_depth(), 17u);
+
+  std::vector<Visitor> out;
+  ASSERT_TRUE(box.drain(out));
+  ASSERT_EQ(out.size(), 25u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i].value, i) << "FIFO hole at " << i;
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(SpscMailbox, RingResumesAfterDrainClearsSpill) {
+  Mailbox box(/*producers=*/1, /*ring_capacity=*/8);
+  box.push_from(0, batch_of(0, 0, 20));  // spills
+  std::vector<Visitor> out;
+  ASSERT_TRUE(box.drain(out));  // clears the sticky flag under the mutex
+
+  box.push_from(0, batch_of(0, 20, 4));  // fits: back on the lock-free path
+  EXPECT_EQ(box.ring_depth(), 4u);
+  EXPECT_EQ(box.overflow_depth(), 0u);
+  ASSERT_TRUE(box.drain(out));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].value, 20u);
+  EXPECT_EQ(out[3].value, 23u);
+}
+
+TEST(SpscMailbox, RinglessPushersShareTheOverflowSegment) {
+  // push()/push_one() (main thread, tests) always take the overflow path
+  // and are not counted as ring overflows.
+  Mailbox box(/*producers=*/2, /*ring_capacity=*/8);
+  box.push_one(tagged(99, 0));
+  box.push(batch_of(99, 1, 3));
+  EXPECT_EQ(box.ring_depth(), 0u);
+  EXPECT_EQ(box.overflow_depth(), 4u);
+  EXPECT_EQ(box.overflows(), 0u);
+  std::vector<Visitor> out;
+  ASSERT_TRUE(box.drain(out));
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].value, i);
+}
+
+// The TSan stress target: ring producers pushing through constant spills,
+// a ringless producer interleaving, and a concurrent consumer — per-producer
+// FIFO must hold across every ring/overflow handoff.
+TEST(SpscMailbox, ConcurrentProducersStayFifoUnderSpillPressure) {
+  constexpr RankId kProducers = 4;
+  constexpr StateWord kPerProducer = 8000;
+  constexpr VertexId kMainTag = 1000;
+  // Tiny rings force the spill path to run continuously.
+  Mailbox box(kProducers, /*ring_capacity=*/16);
+
+  std::vector<std::thread> threads;
+  for (RankId p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&box, p] {
+      StateWord next = 0;
+      while (next < kPerProducer) {
+        // Vary batch sizes so batches straddle the ring boundary at
+        // different offsets.
+        const std::size_t n =
+            std::min<std::size_t>(1 + (next % 13), kPerProducer - next);
+        box.push_from(p, batch_of(p, next, n));
+        next += static_cast<StateWord>(n);
+      }
+    });
+  }
+  threads.emplace_back([&box] {
+    for (StateWord i = 0; i < kPerProducer; ++i) box.push_one(tagged(kMainTag, i));
+  });
+
+  std::vector<StateWord> expect(kProducers + 1, 0);
+  std::uint64_t received = 0;
+  std::vector<Visitor> out;
+  while (received < (kProducers + 1) * kPerProducer) {
+    if (!box.drain(out)) {
+      box.wait(std::chrono::milliseconds(100));
+      continue;
+    }
+    received += out.size();
+    for (const Visitor& v : out) {
+      const std::size_t lane = v.target == kMainTag ? kProducers : v.target;
+      ASSERT_EQ(v.value, expect[lane]) << "producer " << v.target;
+      ++expect[lane];
+    }
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(box.empty());
+  EXPECT_GT(box.overflows(), 0u);  // the tiny rings really did spill
+}
+
+// Re-proof of the missed-wakeup window (DESIGN.md §6): ping-pong rounds
+// where the consumer parks with a long timeout before every item. If the
+// parked_/fence handshake had a hole, some round's push would land between
+// the consumer's emptiness re-check and its park, nobody would signal the
+// condvar, and that round would stall for the full 10 s timeout — tripping
+// the per-round deadline below. The engine's own loop hides such bugs
+// behind its 200 µs parking backstop; this test removes the backstop.
+TEST(SpscMailbox, ParkingHandshakeHasNoMissedWakeupWindow) {
+  constexpr int kRounds = 500;
+  Mailbox box(/*producers=*/1, /*ring_capacity=*/8);
+  std::atomic<int> acked{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      box.push_from(0, batch_of(0, static_cast<StateWord>(i), 1));
+      while (acked.load(std::memory_order_acquire) <= i) std::this_thread::yield();
+    }
+  });
+  std::vector<Visitor> out;
+  for (int i = 0; i < kRounds; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!box.drain(out)) {
+      box.wait(std::chrono::seconds(10));
+      ASSERT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(8))
+          << "round " << i << " stalled: missed wakeup";
+    }
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].value, static_cast<StateWord>(i));
+    acked.store(i + 1, std::memory_order_release);
+  }
+  producer.join();
+}
+
+TEST(SpscMailbox, WaitWakesOnRingPush) {
+  Mailbox box(/*producers=*/1, /*ring_capacity=*/64);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.push_from(0, batch_of(0, 7, 1));
+  });
+  EXPECT_TRUE(box.wait(std::chrono::seconds(5)));
+  producer.join();
+}
+
+TEST(SpscMailbox, InterruptWakesRingedConsumerWithoutMessage) {
+  Mailbox box(/*producers=*/2, /*ring_capacity=*/64);
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.interrupt();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.wait(std::chrono::seconds(5)));  // still empty
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(2));
+  waker.join();
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -72,6 +72,7 @@ int usage() {
                "  remo ingest   --graph FILE [--ranks N] [--streams N]\n"
                "                [--algo none|bfs|sssp|cc|st|degree] [--source V]\n"
                "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n"
+               "                [--batch-size N] [--no-coalesce]\n"
                "                [--stats] [--stats-json FILE] [--trace FILE]\n"
                "                [--latency-sample SHIFT]\n"
                "                [--lineage] [--lineage-out FILE] [--lineage-sample SHIFT]\n"
@@ -94,6 +95,11 @@ int usage() {
                "                     and the top-K most expensive updates with their\n"
                "                     critical paths; exit 1 when any sampled cause\n"
                "                     spawned fewer than --min-descendants visitors\n"
+               "\n"
+               "message path (DESIGN.md §6):\n"
+               "  --batch-size N     per-destination send-buffer batch (default 128)\n"
+               "  --no-coalesce      deliver every Update visitor verbatim instead\n"
+               "                     of merging same-sender monotone updates\n"
                "\n"
                "live telemetry (sampled every --metrics-period ms, default 100):\n"
                "  --watch            refreshing one-line-per-rank live view of the\n"
@@ -174,6 +180,8 @@ int cmd_ingest(const Args& a) {
   EngineConfig cfg;
   cfg.num_ranks = static_cast<RankId>(a.num("ranks", 4));
   if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
+  cfg.batch_size = static_cast<std::size_t>(a.num("batch-size", cfg.batch_size));
+  if (a.flag("no-coalesce")) cfg.coalesce = false;
 
   const bool want_stats = a.flag("stats");
   const std::string stats_json = a.str("stats-json");
