@@ -56,6 +56,11 @@
 #include "core/static_on_dynamic.hpp"
 #include "core/vertex_program.hpp"
 
+// Differential fuzzing & deterministic replay
+#include "fuzz/fuzz.hpp"
+#include "fuzz/repro.hpp"
+#include "fuzz/shrink.hpp"
+
 // REMO algorithms
 #include "core/algorithms/degree_tracker.hpp"
 #include "core/algorithms/dynamic_bfs.hpp"

@@ -164,6 +164,7 @@ Engine::Engine(EngineConfig cfg)
     rt->safra = &safra_;
     rt->part = &part_;
     rt->rank = r;
+    rt->drop_nth_update = cfg_.debug.drop_nth_update;
     rt->obs_latency = cfg_.obs.latency;
     rt->obs_phases = cfg_.obs.phase_timers;
     rt->obs_sample_mask =
@@ -223,7 +224,12 @@ void Engine::inject_init(ProgramId p, VertexId v) {
 
 void Engine::inject_edge(const EdgeEvent& e) {
   const VisitKind kind = e.op == EdgeOp::kAdd ? VisitKind::kAdd : VisitKind::kDelete;
-  Visitor vis{e.src, e.dst, 0, e.weight, kind, Visitor::kTopologyAlgo,
+  // Canonical forward orientation in undirected mode — all events of an
+  // unordered pair must serialise at one owner (see the stream-pull site in
+  // engine_loop.cpp for the race this prevents).
+  VertexId fwd_src = e.src, fwd_dst = e.dst;
+  if (cfg_.undirected && fwd_dst < fwd_src) std::swap(fwd_src, fwd_dst);
+  Visitor vis{fwd_src, fwd_dst, 0, e.weight, kind, Visitor::kTopologyAlgo,
               epoch_.load(std::memory_order_acquire)};
   // Lineage sampling for API injections, mirroring the stream-pull sampler
   // (self-loops skipped — they spawn no propagation). Origin 0xFF marks
@@ -247,7 +253,7 @@ void Engine::inject_edge(const EdgeEvent& e) {
   // as in flight (or already applied) — never as missing.
   injected_events_.fetch_add(1, std::memory_order_release);
   safra_.on_basic_send(0);
-  comm_.mailbox(part_.owner(e.src)).push_one(vis);
+  comm_.mailbox(part_.owner(vis.target)).push_one(vis);
 }
 
 void Engine::inject_vertex_removal(VertexId v) {

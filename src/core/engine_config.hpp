@@ -74,13 +74,33 @@ struct EngineConfig {
   /// (docs/OBSERVABILITY.md).
   obs::ObsConfig obs{};
 
-  /// Test-only fault injection. `park_rank_while` points at a flag owned by
-  /// the test; while it is true, rank `park_rank` spins without processing
-  /// its mailbox — simulating a wedged rank so the stall watchdog can be
-  /// exercised deterministically. Never set in production configurations.
+  /// Test-only fault injection and schedule control. Never set any of these
+  /// in production configurations.
+  ///
+  /// `park_rank_while` points at a flag owned by the test; while it is
+  /// true, rank `park_rank` spins without processing its mailbox —
+  /// simulating a wedged rank so the stall watchdog can be exercised
+  /// deterministically.
+  ///
+  /// `schedule_seed` is the fuzzer's deterministic-schedule hook: when
+  /// nonzero, each rank derives its loop-pacing RNG (the chaos-delay
+  /// source) from (schedule_seed, rank) instead of the fixed built-in
+  /// seed. Together with `chaos_delay_us` this makes the *distribution* of
+  /// thread interleavings a pure function of the seed, so a fuzz case
+  /// explores the same schedule neighbourhood on every replay — and with
+  /// num_ranks == 1 the execution is exactly deterministic.
+  ///
+  /// `drop_nth_update` is message-loss injection for the fuzzer's
+  /// self-test: when nonzero, each rank silently discards every Nth
+  /// kUpdate visitor it would send (before any accounting, so quiescence
+  /// is still reached — the converged state is simply wrong). This is the
+  /// synthetic bug the differential oracle and the repro shrinker are
+  /// validated against.
   struct DebugHooks {
     const std::atomic<bool>* park_rank_while = nullptr;
     RankId park_rank = 0;
+    std::uint64_t schedule_seed = 0;
+    std::uint32_t drop_nth_update = 0;
   };
   DebugHooks debug{};
 };

@@ -105,6 +105,13 @@ struct RankRuntime {
   std::size_t next_stream = 0;
   std::atomic<std::uint64_t> stream_remaining{0};
 
+  // Fault injection (EngineConfig::DebugHooks::drop_nth_update): when
+  // nonzero, every Nth outbound kUpdate from this rank is silently
+  // discarded before any accounting sees it — a synthetic lost-message
+  // bug for the differential fuzzer's self-test. Single-writer fields.
+  std::uint32_t drop_nth_update = 0;
+  std::uint64_t update_drop_seq = 0;
+
   // Versioned-collection handshake: last engine epoch this rank observed
   // at a loop-iteration boundary.
   std::atomic<std::uint16_t> epoch_seen{0};
@@ -141,6 +148,13 @@ struct RankRuntime {
   /// emission path (program updates, reverse-adds, invalidations, probes)
   /// is covered without touching the call sites.
   void send(Visitor v) {
+    if (drop_nth_update != 0 && v.kind == VisitKind::kUpdate &&
+        ++update_drop_seq % drop_nth_update == 0) {
+      // Injected message loss: the visitor vanishes before it is counted
+      // anywhere, exactly like a send that never happened. Quiescence is
+      // unaffected; convergence is silently broken — which is the point.
+      return;
+    }
     const RankId to = part->owner(v.target);
     if (lineage && v.kind != VisitKind::kControl && v.cause == 0 &&
         cur_cause != 0) {

@@ -92,10 +92,18 @@ void Engine::process_topology_add(detail::RankRuntime& rt, const Visitor& v) {
   const auto res = rt.store.insert_edge(v.target, v.other, v.weight);
   if (res.new_edge) ++rt.metrics.edges_stored;
   TwoTierAdjacency* const adj = res.adj;  // insert already probed the record
+  // Handle-invalidation audit (debug): `adj` is only usable across the
+  // program loop below because VertexContext exposes no store-mutation API
+  // — no callback can grow the vertex map and move the record out from
+  // under us. The generation check turns any future violation of that
+  // contract into a loud failure instead of a heap-corrupting dangling
+  // pointer (see DegAwareStore::InsertResult).
+  [[maybe_unused]] const std::uint64_t store_gen = rt.store.generation();
   for (ProgramId p = 0; p < rt.progs.size(); ++p)
     dispatch_views(rt, v, p, adj, [&](VertexContext& ctx) {
       programs_[p]->on_add(ctx, v.other, v.weight);
     });
+  REMO_ASSERT(rt.store.generation() == store_gen);
   if (cfg_.undirected && v.target != v.other) {
     // Reverse-Add carries the topology change AND this vertex's program
     // state in one visitor (Algorithm 3's REVERSE_ADD does both): the
@@ -179,11 +187,14 @@ void Engine::dispatch_visitor(detail::RankRuntime& rt, const Visitor& v) {
       if (v.algo != Visitor::kTopologyAlgo) {
         // Deposit the sender's state into the edge cache (Algorithm 3:
         // this.nbrs.set(vis_ID, vis_val)) — straight into the slot the
-        // insert just returned, no re-probe.
+        // insert just returned, no re-probe. Same handle audit as
+        // process_topology_add: the callback must not mutate the store.
+        [[maybe_unused]] const std::uint64_t store_gen = rt.store.generation();
         res.prop->set_cache(v.algo, v.value);
         dispatch_views(rt, v, v.algo, res.adj, [&](VertexContext& ctx) {
           programs_[v.algo]->on_reverse_add(ctx, v.other, v.value, v.weight);
         });
+        REMO_ASSERT(rt.store.generation() == store_gen);
       }
       break;
     }
@@ -200,8 +211,24 @@ void Engine::dispatch_visitor(detail::RankRuntime& rt, const Visitor& v) {
 
     case VisitKind::kUpdate: {
       TwoTierAdjacency* adj = rt.store.adjacency(v.target);
-      if (adj)
-        if (EdgeProp* prop = adj->find(v.other)) prop->set_cache(v.algo, v.value);
+      EdgeProp* prop = adj ? adj->find(v.other) : nullptr;
+      if (!prop && cfg_.undirected && v.target != v.other) {
+        // Stale update across a deleted edge. In undirected mode updates
+        // are only ever sent to current neighbours, and the complementary
+        // insert always reaches the receiver before any update can (the
+        // sender learns of the edge through that same visitor chain) — so a
+        // missing edge here means a concurrent delete won the race while
+        // this update was in flight. (Directed mode stores no receiver-side
+        // arc at all, so absence proves nothing there and the guard is
+        // skipped.)
+        // Applying it would deposit a state the repair wave can never see
+        // (the anchor edge is already gone on both sides); dropping it is
+        // safe because a future re-add transfers the sender's then-current
+        // state in its Reverse-Add. Found by `remo fuzz` (docs/TESTING.md,
+        // "The bug hunt").
+        break;
+      }
+      if (prop) prop->set_cache(v.algo, v.value);
       dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
         programs_[v.algo]->on_update(ctx, v.other, v.value, v.weight);
       });
@@ -429,7 +456,13 @@ void Engine::rank_main(RankId r) {
   detail::RankRuntime& rt = *ranks_[r];
   std::vector<Visitor> batch;
   std::uint32_t passive_streak = 0;  // consecutive no-work iterations
-  Xoshiro256 chaos_rng(0xC4A05ULL * (r + 1));
+  // Loop-pacing RNG (chaos delays). By default a fixed per-rank seed; the
+  // deterministic-schedule debug hook re-derives it from the fuzz seed so
+  // every replay of a fuzz case explores the same interleaving
+  // neighbourhood (engine_config.hpp, DebugHooks::schedule_seed).
+  Xoshiro256 chaos_rng(cfg_.debug.schedule_seed != 0
+                           ? hash_combine(cfg_.debug.schedule_seed, r + 1)
+                           : 0xC4A05ULL * (r + 1));
 
   // Observability switches, hoisted so the hot path pays one branch each.
   obs::TraceBuffer* const trace = rt.trace.get();
@@ -601,7 +634,16 @@ void Engine::rank_main(RankId r) {
         }
         if (!sc) break;
         const EdgeEvent& e = (*sc->stream)[sc->pos++];
-        Visitor vis{e.src, e.dst, 0, e.weight,
+        // Canonical forward orientation (undirected): route both (u,v) and
+        // (v,u) through the same owner so one stream's add/delete history
+        // for an unordered pair is processed in stream order. With mixed
+        // orientations the forward visitors land on different ranks and a
+        // stale delete can race the later add's Reverse-Add, erasing an
+        // edge the stream says survives (found by `remo fuzz`, see
+        // docs/TESTING.md "The bug hunt").
+        VertexId fwd_src = e.src, fwd_dst = e.dst;
+        if (cfg_.undirected && fwd_dst < fwd_src) std::swap(fwd_src, fwd_dst);
+        Visitor vis{fwd_src, fwd_dst, 0, e.weight,
                     e.op == EdgeOp::kAdd ? VisitKind::kAdd : VisitKind::kDelete,
                     Visitor::kTopologyAlgo, iter_epoch};
         // Lineage sampling at the origin: every (mask+1)-th pulled event
@@ -616,7 +658,7 @@ void Engine::rank_main(RankId r) {
           rt.lineage->record_origin(vis.cause, obs_now());
         }
         did_work = true;
-        if (part_.owner(e.src) == r) {
+        if (part_.owner(vis.target) == r) {
           comm_.note_injected(iter_epoch, r);
           // Ingest-watermark bump AFTER the in-flight increment (release
           // store): a gauge sampler that sees the count also sees the

@@ -1,0 +1,385 @@
+#include "fuzz/fuzz.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/strfmt.hpp"
+#include "core/algorithms/dynamic_bfs.hpp"
+#include "core/algorithms/dynamic_cc.hpp"
+#include "core/algorithms/dynamic_sssp.hpp"
+#include "core/algorithms/multi_st.hpp"
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/static_bfs.hpp"
+#include "graph/static_cc.hpp"
+#include "graph/static_sssp.hpp"
+#include "graph/static_st.hpp"
+#include "storage/robin_hood_map.hpp"
+
+namespace remo::fuzz {
+namespace {
+
+// Seed-space salts: each derived stream of randomness gets its own lane so
+// knob choices never correlate with event choices.
+constexpr std::uint64_t kKnobSalt = 0x8f1b'74c3'9a2e'5d07ULL;
+constexpr std::uint64_t kEventSalt = 0x3c6e'f372'fe94'f82aULL;
+constexpr std::uint64_t kWeightSalt = 0xd1b5'4a32'd192'ed03ULL;
+constexpr std::uint64_t kScheduleSalt = 0x94d0'49bb'1331'11ebULL;
+
+// Weights must be a pure function of the unordered endpoint pair: the
+// engine collapses parallel edges (last weight wins) while the oracle sees
+// one edge per pair, so duplicate adds with differing weights would make
+// the converged distances depend on arrival order — a generator artefact,
+// not an engine bug.
+Weight pair_weight(std::uint64_t pair_key, std::uint64_t seed, Weight max_weight) {
+  if (max_weight <= 1) return 1;
+  return 1 + static_cast<Weight>(splitmix64(pair_key ^ seed ^ kWeightSalt) %
+                                 max_weight);
+}
+
+template <typename T, std::size_t N>
+T pick(Xoshiro256& rng, const T (&options)[N]) {
+  return options[rng.bounded(N)];
+}
+
+}  // namespace
+
+const char* algo_name(Algo a) noexcept {
+  switch (a) {
+    case Algo::kBfs: return "bfs";
+    case Algo::kSssp: return "sssp";
+    case Algo::kCc: return "cc";
+    case Algo::kSt: return "st";
+  }
+  return "?";
+}
+
+bool algo_from_name(const std::string& name, Algo& out) noexcept {
+  for (const Algo a : {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt}) {
+    if (name == algo_name(a)) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+FuzzCase make_case(std::uint64_t seed, const GenOptions& opts) {
+  REMO_CHECK(opts.num_vertices >= 2);
+  REMO_CHECK(opts.num_events >= 1);
+  FuzzCase fc;
+  fc.seed = seed;
+
+  // --- Config knobs -------------------------------------------------------
+  static constexpr std::uint32_t kRankChoices[] = {1, 2, 4, 8};
+  static constexpr std::uint32_t kBatchChoices[] = {1, 4, 32, 128, 256};
+  // Tiny rings force the mailbox overflow/spill path; the default exercises
+  // the pure lock-free path.
+  static constexpr std::uint32_t kRingChoices[] = {8, 64, 1024, 16384};
+  static constexpr std::uint32_t kChunkChoices[] = {1, 16, 64};
+  static constexpr std::uint32_t kChaosChoices[] = {0, 0, 0, 20, 100};
+  static constexpr std::uint32_t kPromoteChoices[] = {2, 8};
+  Xoshiro256 knobs(splitmix64(seed ^ kKnobSalt));
+  CaseConfig& c = fc.config;
+  c.algo = static_cast<Algo>(knobs.bounded(4));
+  c.ranks = pick(knobs, kRankChoices);
+  c.termination = knobs.bounded(2) == 0 ? TerminationMode::kCounting
+                                        : TerminationMode::kSafra;
+  c.coalesce = knobs.bounded(2) == 0;
+  c.batch_size = pick(knobs, kBatchChoices);
+  c.ring_capacity = pick(knobs, kRingChoices);
+  c.stream_chunk = pick(knobs, kChunkChoices);
+  c.chaos_delay_us = pick(knobs, kChaosChoices);
+  c.nbr_cache_filter = knobs.bounded(4) != 0;  // mostly on (the default)
+  c.promote_threshold = pick(knobs, kPromoteChoices);
+  c.schedule_seed = splitmix64(seed ^ kScheduleSalt) | 1;  // nonzero
+  c.streams = c.ranks;
+
+  // --- Event stream -------------------------------------------------------
+  Xoshiro256 rng(splitmix64(seed ^ kEventSalt));
+  const bool deletes = algo_supports_deletes(c.algo) && opts.delete_permille > 0;
+
+  // Live unordered pairs, for picking meaningful delete targets. The map
+  // stores each live pair's slot in the vector; erase swaps the tail in.
+  struct LivePair {
+    VertexId src, dst;
+    std::uint64_t key;
+  };
+  std::vector<LivePair> live;
+  RobinHoodMap<std::uint64_t, std::uint32_t> live_slot;
+
+  fc.events.reserve(opts.num_events);
+  for (std::uint32_t i = 0; i < opts.num_events; ++i) {
+    const bool want_delete =
+        deletes && !live.empty() && rng.bounded(1000) < opts.delete_permille;
+    if (want_delete) {
+      if (rng.bounded(16) == 0) {
+        // Occasional delete of an edge that does not exist: the engine
+        // must treat it as a no-op (no reverse propagation, no repair
+        // anchor) — a hazard class worth keeping in the stream.
+        const VertexId u = rng.bounded(opts.num_vertices);
+        VertexId v = rng.bounded(opts.num_vertices);
+        if (v == u) v = (v + 1) % opts.num_vertices;
+        const std::uint64_t key = event_pair_key(EdgeEvent{u, v});
+        if (!live_slot.contains(key)) {
+          fc.events.push_back(EdgeEvent{u, v, 1, EdgeOp::kDelete});
+          continue;
+        }
+      }
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(rng.bounded(live.size()));
+      const LivePair p = live[slot];
+      fc.events.push_back(EdgeEvent{
+          p.src, p.dst, pair_weight(p.key, seed, opts.max_weight),
+          EdgeOp::kDelete});
+      live[slot] = live.back();
+      live_slot.insert_or_assign(live[slot].key, slot);
+      live.pop_back();
+      live_slot.erase(p.key);
+      continue;
+    }
+    const VertexId u = rng.bounded(opts.num_vertices);
+    VertexId v = rng.bounded(opts.num_vertices);
+    if (v == u) v = (v + 1) % opts.num_vertices;  // no self-loops
+    const EdgeEvent probe{u, v};
+    const std::uint64_t key = event_pair_key(probe);
+    fc.events.push_back(
+        EdgeEvent{u, v, pair_weight(key, seed, opts.max_weight), EdgeOp::kAdd});
+    if (!live_slot.contains(key)) {
+      live_slot.insert_or_assign(key, static_cast<std::uint32_t>(live.size()));
+      live.push_back(LivePair{u, v, key});
+    }
+  }
+
+  // Source: the first add's source endpoint — guaranteed to exist, and in
+  // the graph unless heavy deletion later isolates it (a case the differ
+  // handles explicitly).
+  for (const EdgeEvent& e : fc.events) {
+    if (e.op == EdgeOp::kAdd) {
+      fc.source = e.src;
+      break;
+    }
+  }
+  return fc;
+}
+
+FuzzCase make_case_indexed(std::uint64_t index, std::uint64_t base_seed,
+                           const GenOptions& opts) {
+  FuzzCase fc = make_case(hash_combine(splitmix64(base_seed), index), opts);
+  // Cycle the coverage-critical axes deterministically: 4 algorithms x 4
+  // rank counts x 2 detectors = 32 combos per index window.
+  constexpr Algo kAlgos[] = {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt};
+  constexpr std::uint32_t kRanks[] = {1, 2, 4, 8};
+  fc.config.algo = kAlgos[index % 4];
+  fc.config.ranks = kRanks[(index / 4) % 4];
+  fc.config.streams = fc.config.ranks;
+  fc.config.termination = ((index / 16) % 2) == 0 ? TerminationMode::kCounting
+                                                  : TerminationMode::kSafra;
+  if (!algo_supports_deletes(fc.config.algo)) {
+    // The seed-random algo may have generated deletes the cycled algo
+    // cannot repair: regenerate the stream under the final algo.
+    const FuzzCase regen = make_case(fc.seed, [&] {
+      GenOptions g = opts;
+      g.delete_permille = 0;
+      return g;
+    }());
+    fc.events = regen.events;
+    fc.source = regen.source;
+  }
+  return fc;
+}
+
+EdgeList surviving_edges(const std::vector<EdgeEvent>& events) {
+  struct PairState {
+    VertexId src = 0, dst = 0;
+    Weight weight = kDefaultWeight;
+    bool present = false;
+  };
+  RobinHoodMap<std::uint64_t, std::uint32_t> slot_of;
+  std::vector<PairState> pairs;
+  for (const EdgeEvent& e : events) {
+    const std::uint64_t key = event_pair_key(e);
+    auto [slot, fresh] = slot_of.find_or_emplace(key, [&] {
+      pairs.emplace_back();
+      return static_cast<std::uint32_t>(pairs.size() - 1);
+    });
+    PairState& p = pairs[*slot];
+    if (e.op == EdgeOp::kAdd) {
+      p.src = e.src;
+      p.dst = e.dst;
+      p.weight = e.weight;
+      p.present = true;
+    } else {
+      p.present = false;
+    }
+  }
+  EdgeList out;
+  for (const PairState& p : pairs)
+    if (p.present) out.push_back(Edge{p.src, p.dst, p.weight});
+  return out;
+}
+
+RunResult run_case(const FuzzCase& fc) {
+  const CaseConfig& c = fc.config;
+  REMO_CHECK(c.ranks >= 1 && c.streams >= 1);
+
+  const bool has_deletes =
+      std::any_of(fc.events.begin(), fc.events.end(),
+                  [](const EdgeEvent& e) { return e.op == EdgeOp::kDelete; });
+
+  EngineConfig cfg;
+  cfg.num_ranks = c.ranks;
+  cfg.batch_size = c.batch_size;
+  cfg.coalesce = c.coalesce;
+  cfg.mailbox_ring_capacity = c.ring_capacity;
+  cfg.stream_chunk = c.stream_chunk;
+  cfg.termination = c.termination;
+  cfg.nbr_cache_filter = c.nbr_cache_filter;
+  cfg.chaos_delay_us = c.chaos_delay_us;
+  cfg.store.promote_threshold = c.promote_threshold;
+  cfg.debug.schedule_seed = c.schedule_seed;
+  cfg.debug.drop_nth_update = c.drop_nth_update;
+
+  Engine engine(cfg);
+  ProgramId id = 0;
+  switch (c.algo) {
+    case Algo::kBfs: {
+      auto [i, p] = engine.attach_make<DynamicBfs>(
+          fc.source, DynamicBfs::Options{.deterministic_parents = false,
+                                         .support_deletes = has_deletes});
+      id = i;
+      engine.inject_init(id, fc.source);
+      break;
+    }
+    case Algo::kSssp: {
+      auto [i, p] = engine.attach_make<DynamicSssp>(
+          fc.source, DynamicSssp::Options{.deterministic_parents = false,
+                                          .support_deletes = has_deletes});
+      id = i;
+      engine.inject_init(id, fc.source);
+      break;
+    }
+    case Algo::kCc:
+      id = engine.attach(std::make_shared<DynamicCc>());
+      break;
+    case Algo::kSt: {
+      auto [i, p] = engine.attach_make<MultiStConnectivity>(
+          std::vector<VertexId>{fc.source});
+      id = i;
+      inject_st_sources(engine, id, *p);
+      break;
+    }
+  }
+
+  engine.ingest(split_events_keyed(fc.events, c.streams, fc.seed));
+  if (has_deletes) engine.repair(id);
+
+  // --- Differential check against the static oracle -----------------------
+  RunResult rr;
+  const EdgeList surviving = surviving_edges(fc.events);
+  rr.surviving_edges = surviving.size();
+  const CsrGraph g = CsrGraph::build(with_reverse_edges(surviving));
+  const CsrGraph::Dense s = g.dense_of(fc.source);
+  const StateWord identity = engine.program(id).identity();
+
+  std::vector<StateWord> oracle;
+  switch (c.algo) {
+    case Algo::kBfs:
+      if (s != CsrGraph::kNoVertex) oracle = static_bfs(g, s);
+      break;
+    case Algo::kSssp:
+      if (s != CsrGraph::kNoVertex) oracle = static_sssp_dijkstra(g, s);
+      break;
+    case Algo::kCc:
+      oracle = static_cc_union_find(g);
+      break;
+    case Algo::kSt:
+      if (s != CsrGraph::kNoVertex) oracle = static_multi_st(g, {s});
+      break;
+  }
+
+  auto check = [&](VertexId ext, StateWord want) {
+    ++rr.vertices_checked;
+    const StateWord got = engine.state_of(id, ext);
+    if (got != want) rr.divergences.push_back(Divergence{ext, got, want});
+  };
+
+  // Every vertex of the surviving graph. When heavy deletion isolated the
+  // source entirely (oracle empty for the source-rooted algorithms),
+  // nothing is reachable: every survivor must sit at identity.
+  for (CsrGraph::Dense v = 0; v < g.num_vertices(); ++v) {
+    const VertexId ext = g.external_of(v);
+    if (ext == fc.source) continue;  // handled below, survivor or not
+    check(ext, oracle.empty() ? identity : oracle[v]);
+  }
+
+  // The source itself (source-rooted algorithms only; CC has no source and
+  // its vertex set is exactly the survivors). An isolated source keeps its
+  // init state: level/distance 1, or source-bit 1 for multi-ST.
+  switch (c.algo) {
+    case Algo::kBfs:
+    case Algo::kSssp:
+      check(fc.source, s != CsrGraph::kNoVertex ? oracle[s] : 1);
+      break;
+    case Algo::kSt:
+      check(fc.source, s != CsrGraph::kNoVertex ? oracle[s] : 1);
+      break;
+    case Algo::kCc:
+      if (s != CsrGraph::kNoVertex) check(fc.source, oracle[s]);
+      break;
+  }
+
+  // Orphans: vertices that appeared in events but lost every edge. The
+  // repair wave must have returned them to identity (delete-capable
+  // algorithms only — add-only streams cannot orphan a vertex).
+  if (has_deletes) {
+    RobinHoodMap<VertexId, std::uint8_t> seen;
+    for (const EdgeEvent& e : fc.events) {
+      seen.insert_or_assign(e.src, 1);
+      seen.insert_or_assign(e.dst, 1);
+    }
+    seen.for_each([&](const VertexId& ext, std::uint8_t&) {
+      if (ext == fc.source) return;
+      if (g.dense_of(ext) != CsrGraph::kNoVertex) return;
+      check(ext, identity);
+    });
+  }
+
+  std::sort(rr.divergences.begin(), rr.divergences.end(),
+            [](const Divergence& a, const Divergence& b) {
+              return a.vertex < b.vertex;
+            });
+  return rr;
+}
+
+std::string describe(const FuzzCase& fc) {
+  const CaseConfig& c = fc.config;
+  return strfmt(
+      "seed=%llu algo=%s ranks=%u term=%s coalesce=%d batch=%u ring=%u "
+      "chunk=%u chaos=%uus events=%zu",
+      static_cast<unsigned long long>(fc.seed), algo_name(c.algo), c.ranks,
+      c.termination == TerminationMode::kSafra ? "safra" : "counting",
+      c.coalesce ? 1 : 0, c.batch_size, c.ring_capacity, c.stream_chunk,
+      c.chaos_delay_us, fc.events.size());
+}
+
+CampaignResult run_campaign(const CampaignOptions& opts) {
+  CampaignResult res;
+  for (std::uint64_t i = 0; i < opts.num_cases; ++i) {
+    const FuzzCase fc = make_case_indexed(i, opts.base_seed, opts.gen);
+    const RunResult rr = run_case(fc);
+    ++res.cases_run;
+    const bool keep_going = !opts.on_case || opts.on_case(fc, rr);
+    if (!rr.ok()) {
+      res.failures.push_back(fc);
+      res.failure_results.push_back(rr);
+    }
+    if (!keep_going) break;
+  }
+  return res;
+}
+
+}  // namespace remo::fuzz

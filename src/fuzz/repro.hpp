@@ -1,0 +1,58 @@
+// remo-repro-1 — the self-contained fuzz repro file format.
+//
+// A repro captures everything run_case needs: the seed, every randomized
+// config knob, the source vertex, and the full generation-order event
+// stream. The format is line-oriented text so repros diff cleanly in
+// review and survive being pasted into bug reports:
+//
+//   remo-repro-1
+//   seed 12345
+//   algo bfs
+//   ranks 4
+//   streams 4
+//   termination counting
+//   coalesce 1
+//   batch_size 128
+//   ring_capacity 64
+//   stream_chunk 16
+//   chaos_delay_us 20
+//   nbr_cache_filter 1
+//   promote_threshold 8
+//   schedule_seed 987654321
+//   drop_nth_update 0
+//   source 17
+//   events 3
+//   a 17 4 2
+//   a 4 9 1
+//   d 17 4 2
+//
+// Event lines are `a|d <src> <dst> <weight>`. The serialisation is
+// canonical: parse(to_text(fc)) == fc and to_text(parse(text)) == text for
+// any writer-produced text, so replays are byte-for-byte reproducible
+// (docs/TESTING.md, "Repro files").
+#pragma once
+
+#include <string>
+
+#include "fuzz/fuzz.hpp"
+
+namespace remo::fuzz {
+
+inline constexpr const char* kReproMagic = "remo-repro-1";
+
+/// Canonical text form of a case.
+std::string repro_to_text(const FuzzCase& fc);
+
+/// Parse a repro. Returns false (and sets `*error` when non-null) on any
+/// malformed input: wrong magic, missing/unknown keys, bad event lines, or
+/// an event count that disagrees with the header.
+bool repro_from_text(const std::string& text, FuzzCase& out,
+                     std::string* error = nullptr);
+
+/// File convenience wrappers around the text form.
+bool write_repro(const std::string& path, const FuzzCase& fc,
+                 std::string* error = nullptr);
+bool read_repro(const std::string& path, FuzzCase& out,
+                std::string* error = nullptr);
+
+}  // namespace remo::fuzz

@@ -1,0 +1,53 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace remo::fuzz {
+
+std::vector<EdgeEvent> shrink_events(std::vector<EdgeEvent> events,
+                                     const FailPredicate& still_fails,
+                                     ShrinkStats* stats,
+                                     std::size_t max_runs) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  st = ShrinkStats{};
+  st.original_size = events.size();
+
+  std::size_t chunk = events.size() / 2;
+  if (chunk == 0) chunk = 1;
+  while (!events.empty()) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < events.size()) {
+      if (st.runs >= max_runs) {
+        st.budget_exhausted = true;
+        st.final_size = events.size();
+        return events;
+      }
+      const std::size_t len = std::min(chunk, events.size() - start);
+      std::vector<EdgeEvent> candidate;
+      candidate.reserve(events.size() - len);
+      candidate.insert(candidate.end(), events.begin(),
+                       events.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(
+          candidate.end(),
+          events.begin() + static_cast<std::ptrdiff_t>(start + len),
+          events.end());
+      ++st.runs;
+      if (still_fails(candidate)) {
+        events = std::move(candidate);
+        removed_any = true;
+        // Do NOT advance: the chunk now starting at `start` is untested.
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;  // 1-minimal
+    if (chunk > 1) chunk = chunk / 2;
+  }
+  st.final_size = events.size();
+  return events;
+}
+
+}  // namespace remo::fuzz

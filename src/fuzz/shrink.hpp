@@ -1,0 +1,42 @@
+// Greedy event-stream minimisation (ddmin-style).
+//
+// A fresh divergence repro typically carries hundreds of events, almost
+// all irrelevant. The shrinker repeatedly deletes contiguous chunks of the
+// event stream — halving the chunk size whenever a full pass removes
+// nothing — and keeps a deletion iff the case still fails under the
+// caller's predicate. Deletion can only shrink per-pair histories (it
+// never reorders them), so every candidate remains a well-formed stream
+// for the keyed split, and the result is 1-minimal at chunk size 1: no
+// single remaining event can be removed without losing the failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gen/stream.hpp"
+
+namespace remo::fuzz {
+
+/// Returns true when the candidate event stream still reproduces the
+/// failure. Each invocation typically replays a full engine run, so the
+/// shrinker budgets predicate calls, not wall time.
+using FailPredicate = std::function<bool(const std::vector<EdgeEvent>&)>;
+
+struct ShrinkStats {
+  std::size_t runs = 0;           ///< predicate invocations
+  std::size_t original_size = 0;  ///< events in the input stream
+  std::size_t final_size = 0;     ///< events in the shrunk stream
+  bool budget_exhausted = false;  ///< stopped on max_runs, not convergence
+};
+
+/// Minimise `events` with respect to `still_fails`. The input MUST fail
+/// the predicate already (callers pass a known-bad repro). Stops when a
+/// full chunk-size-1 pass removes nothing, or after `max_runs` predicate
+/// calls.
+std::vector<EdgeEvent> shrink_events(std::vector<EdgeEvent> events,
+                                     const FailPredicate& still_fails,
+                                     ShrinkStats* stats = nullptr,
+                                     std::size_t max_runs = 400);
+
+}  // namespace remo::fuzz

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "storage/robin_hood_map.hpp"
 
 namespace remo {
 namespace {
@@ -49,6 +51,57 @@ StreamSet split_events(std::vector<EdgeEvent> events, std::size_t num_streams,
   REMO_CHECK(num_streams > 0);
   if (shuffle) fisher_yates(events, seed);
   return StreamSet(round_robin(events, num_streams));
+}
+
+std::uint64_t event_pair_key(const EdgeEvent& e) noexcept {
+  const VertexId lo = e.src < e.dst ? e.src : e.dst;
+  const VertexId hi = e.src < e.dst ? e.dst : e.src;
+  return hash_combine(splitmix64(lo), hi);
+}
+
+StreamSet split_events_keyed(std::vector<EdgeEvent> events,
+                             std::size_t num_streams, std::uint64_t seed) {
+  REMO_CHECK(num_streams > 0);
+  std::vector<std::vector<EdgeEvent>> parts(num_streams);
+  for (auto& p : parts) p.reserve(events.size() / num_streams + 1);
+  for (const EdgeEvent& e : events)
+    parts[hash_combine(event_pair_key(e), seed) % num_streams].push_back(e);
+  std::vector<EdgeStream> streams;
+  streams.reserve(num_streams);
+  for (auto& p : parts) streams.emplace_back(std::move(p));
+  return StreamSet(std::move(streams));
+}
+
+std::vector<EdgeEvent> permute_preserving_pairs(std::vector<EdgeEvent> events,
+                                                std::uint64_t seed) {
+  // Classic linear-extension shuffle: record each event's group (pair key)
+  // in input order, Fisher-Yates the *multiset of group labels*, then fill
+  // each label occurrence with that group's next pending event. Within a
+  // group the original order survives; across groups the order is a
+  // uniform random interleaving.
+  struct Group {
+    std::vector<std::uint32_t> positions;  // input indices, in order
+    std::size_t next = 0;
+  };
+  RobinHoodMap<std::uint64_t, std::uint32_t> group_of;
+  std::vector<Group> groups;
+  std::vector<std::uint32_t> labels(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    auto [slot, fresh] = group_of.find_or_emplace(event_pair_key(events[i]), [&] {
+      groups.emplace_back();
+      return static_cast<std::uint32_t>(groups.size() - 1);
+    });
+    groups[*slot].positions.push_back(static_cast<std::uint32_t>(i));
+    labels[i] = *slot;
+  }
+  Xoshiro256 rng(seed ^ 0x9e37'79b9'7f4a'7c15ULL);
+  for (std::size_t i = labels.size(); i > 1; --i)
+    std::swap(labels[i - 1], labels[rng.bounded(i)]);
+  std::vector<EdgeEvent> out;
+  out.reserve(events.size());
+  for (const std::uint32_t g : labels)
+    out.push_back(events[groups[g].positions[groups[g].next++]]);
+  return out;
 }
 
 }  // namespace remo

@@ -85,4 +85,25 @@ StreamSet make_streams(const EdgeList& edges, std::size_t num_streams,
 StreamSet split_events(std::vector<EdgeEvent> events, std::size_t num_streams,
                        bool shuffle = false, std::uint64_t seed = 7);
 
+/// Canonical key of the unordered endpoint pair of an event — the unit the
+/// engine's undirected serialisation argument (Section III-C) orders by.
+std::uint64_t event_pair_key(const EdgeEvent& e) noexcept;
+
+/// Split events into `num_streams` FIFO streams so that all events touching
+/// the same unordered endpoint pair land on the SAME stream, in their input
+/// order. Different seeds place the pairs differently (distinct
+/// interleavings), but per-pair history always stays serialised — the
+/// property that keeps a mixed add/delete workload's final topology
+/// well-defined under concurrent streams (the fuzzer's generator contract).
+StreamSet split_events_keyed(std::vector<EdgeEvent> events,
+                             std::size_t num_streams, std::uint64_t seed);
+
+/// Seeded random permutation of `events` that preserves the relative order
+/// of events sharing an unordered endpoint pair (a uniform linear extension
+/// of the per-pair partial order). Composes with split_events_keyed to
+/// explore cross-pair interleavings without ever reordering one pair's
+/// add/delete history.
+std::vector<EdgeEvent> permute_preserving_pairs(std::vector<EdgeEvent> events,
+                                                std::uint64_t seed);
+
 }  // namespace remo

@@ -126,6 +126,19 @@ class Mailbox {
       for (auto& ring : rings_) {
         if (ring->spilled.load(std::memory_order_relaxed)) {
           pop_ring(*ring, out);
+          // Sequence check on the ring/overflow boundary: while `spilled`
+          // is set its owning producer routes every visitor to the overflow
+          // segment, so the re-pop above must leave the ring empty. A
+          // non-empty ring here would mean ring entries NEWER than the
+          // overflow entries taken below — a per-producer FIFO violation
+          // (the ordering DESIGN.md §2 and the undirected serialisation
+          // argument rely on). Checked before the flag is cleared, while
+          // the producer still cannot touch the ring.
+          if (ring->tail.load(std::memory_order_acquire) !=
+              ring->head.load(std::memory_order_relaxed)) {
+            fifo_violations_.fetch_add(1, std::memory_order_relaxed);
+            REMO_ASSERT(false && "mailbox: ring grew while spilled");
+          }
           ring->spilled.store(false, std::memory_order_relaxed);
         }
       }
@@ -165,6 +178,13 @@ class Mailbox {
   /// traffic is overflow by design and not counted).
   std::uint64_t overflows() const noexcept {
     return overflows_.load(std::memory_order_relaxed);
+  }
+
+  /// Times drain() caught a ring holding entries newer than the overflow
+  /// entries it was about to take (see the sequence check in drain()).
+  /// Always compiled in — any nonzero value is a FIFO-ordering bug.
+  std::uint64_t fifo_violations() const noexcept {
+    return fifo_violations_.load(std::memory_order_relaxed);
   }
 
   /// Lock-free emptiness check (consumer-biased; instantaneous like any
@@ -256,6 +276,7 @@ class Mailbox {
   std::vector<Visitor> overflow_;
   std::atomic<std::size_t> overflow_depth_{0};  // overflow_.size(), lock-free
   std::atomic<std::uint64_t> overflows_{0};     // ring spill events (visitors)
+  std::atomic<std::uint64_t> fifo_violations_{0};  // drain() sequence check
 
   std::mutex park_mutex_;
   std::condition_variable cv_;

@@ -58,6 +58,16 @@ class TwoTierAdjacency {
     return promoted() ? table_.size() : inline_.size();
   }
 
+  /// Handle-stability epoch for EdgeProp* obtained from find()/insert_get():
+  /// unchanged generation ⟹ the pointer still addresses the same edge.
+  /// Bumps on inline-tier reallocation, swap_erase, promotion, and every
+  /// table-tier resident move (RobinHoodMap::generation()). NOTE this does
+  /// not cover the record itself moving inside DegAwareStore's vertex map —
+  /// use DegAwareStore::generation() for that outer layer.
+  std::uint64_t generation() const noexcept {
+    return gen_ + table_.generation();
+  }
+
   bool promoted() const noexcept { return table_.size() != 0 || promoted_flag_; }
 
   /// Insert an edge to `nbr`, or update its weight when it already exists.
@@ -71,7 +81,8 @@ class TwoTierAdjacency {
   /// insert() that also hands back the edge's property slot, so callers
   /// that deposit into the neighbour cache right after inserting (the
   /// Reverse-Add hot path) skip a second probe. The pointer is valid until
-  /// the next mutation of this adjacency.
+  /// the next mutation of this adjacency — precisely: until generation()
+  /// changes. Re-resolve with find() after any interleaved insert/erase.
   std::pair<EdgeProp*, bool> insert_get(VertexId nbr, Weight w,
                                         std::uint32_t promote_threshold) {
     if (!promoted()) {
@@ -82,6 +93,9 @@ class TwoTierAdjacency {
         }
       }
       if (inline_.size() < promote_threshold) {
+        // A full inline buffer reallocates on append: existing EdgeProp
+        // handles die with it.
+        if (inline_.size() == inline_.capacity()) ++gen_;
         inline_.emplace_back(InlineEdge{nbr, EdgeProp{.weight = w}});
         return {&inline_.back().prop, true};
       }
@@ -98,7 +112,8 @@ class TwoTierAdjacency {
     if (!promoted()) {
       for (std::size_t i = 0; i < inline_.size(); ++i) {
         if (inline_[i].nbr == nbr) {
-          inline_.swap_erase(i);
+          inline_.swap_erase(i);  // moves the tail edge: handles die
+          ++gen_;
           return true;
         }
       }
@@ -159,6 +174,7 @@ class TwoTierAdjacency {
   };
 
   void promote() {
+    ++gen_;  // every inline edge moves into the table
     table_.reserve(inline_.size() * 2);
     for (auto& e : inline_) table_.insert_or_assign(e.nbr, e.prop);
     inline_.clear();
@@ -170,6 +186,7 @@ class TwoTierAdjacency {
   // A promoted vertex whose table becomes empty again (all edges deleted)
   // stays promoted; demotion churn is not worth the bookkeeping.
   bool promoted_flag_ = false;
+  std::uint64_t gen_ = 0;  // inline-tier half of generation()
 };
 
 }  // namespace remo

@@ -28,8 +28,16 @@ class DegAwareStore {
     bool new_edge;    ///< the edge did not previously exist
     /// The source vertex's adjacency and the inserted edge's property slot
     /// — handed back so the ingest hot path does not pay further probes to
-    /// re-find what the insert just touched. Valid until the next mutation
-    /// of the store.
+    /// re-find what the insert just touched.
+    ///
+    /// Lifetime (the handle-invalidation contract, audited by the debug
+    /// asserts in engine_loop.cpp): BOTH pointers die the moment any other
+    /// vertex record is touched — `adj` points into the vertex map, which
+    /// can rehash or Robin-Hood-displace records on any insert, and `prop`
+    /// points into that (movable) record's inline buffer or edge table.
+    /// They are guaranteed valid only while generation() is unchanged;
+    /// after interleaved store mutations, re-resolve via adjacency()/find()
+    /// or assert no growth happened.
     TwoTierAdjacency* adj;
     EdgeProp* prop;
   };
@@ -88,6 +96,14 @@ class DegAwareStore {
 
   std::size_t vertex_count() const noexcept { return vertices_.size(); }
   std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Handle-stability epoch of the vertex map: while unchanged, every
+  /// TwoTierAdjacency* (and the records they live in) handed out by
+  /// insert_edge()/adjacency() is still addressable. Bumps whenever vertex
+  /// records move (map growth, Robin Hood displacement, erase shift). Note
+  /// EdgeProp* handles additionally require the owning adjacency's own
+  /// generation() to be unchanged.
+  std::uint64_t generation() const noexcept { return vertices_.generation(); }
 
   /// Visit every owned vertex: `fn(VertexId, TwoTierAdjacency&)`.
   template <typename Fn>

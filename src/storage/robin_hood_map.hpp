@@ -43,9 +43,20 @@ class RobinHoodMap {
   bool empty() const noexcept { return size_ == 0; }
   std::size_t capacity() const noexcept { return meta_.size(); }
 
+  /// Handle-stability epoch. A `Value*` obtained from find()/
+  /// find_or_emplace()/get_or_insert() stays valid exactly as long as
+  /// generation() is unchanged: the counter bumps whenever resident
+  /// entries can move — a rehash (growth), a Robin Hood displacement
+  /// during insert, or a backward-shift erase. Callers holding a handle
+  /// across interleaved mutations must either re-resolve the key or
+  /// assert the generation did not change (the DegAwareStore ingest hot
+  /// path does the latter, see engine_loop.cpp).
+  std::uint64_t generation() const noexcept { return generation_; }
+
   void clear() {
     meta_.assign(meta_.size(), 0);
     size_ = 0;
+    ++generation_;  // every outstanding handle is dead
   }
 
   void reserve(std::size_t expected) {
@@ -92,7 +103,9 @@ class RobinHoodMap {
         }
         if (m < dist) {
           // Robin Hood early exit proves absence: claim this slot and
-          // push the displaced (shallower) resident onward.
+          // push the displaced (shallower) resident onward. Residents
+          // move: outstanding handles die.
+          ++generation_;
           Key moved_key = std::move(keys_[idx]);
           Value moved_val = std::move(values_[idx]);
           std::uint8_t moved_dist = m;
@@ -179,6 +192,8 @@ class RobinHoodMap {
     }
     // Backward-shift: slide the following cluster segment one slot left
     // until an empty slot or a distance-1 (home) element is reached.
+    // Residents move: outstanding handles die.
+    ++generation_;
     std::size_t hole = idx;
     std::size_t next = (hole + 1) & mask;
     while (meta_[next] > 1) {
@@ -238,7 +253,8 @@ class RobinHoodMap {
         return;
       }
       if (meta_[idx] < dist) {
-        // Rob the rich: displace the shallower resident.
+        // Rob the rich: displace the shallower resident (handles die).
+        ++generation_;
         std::swap(keys_[idx], k);
         std::swap(values_[idx], v);
         std::swap(meta_[idx], dist);
@@ -254,6 +270,7 @@ class RobinHoodMap {
   }
 
   void rehash(std::size_t new_cap) {
+    ++generation_;  // every resident moves
     std::vector<std::uint8_t> old_meta = std::move(meta_);
     std::vector<Key> old_keys = std::move(keys_);
     std::vector<Value> old_values = std::move(values_);
@@ -269,6 +286,7 @@ class RobinHoodMap {
   std::vector<Key> keys_;
   mutable std::vector<Value> values_;
   std::size_t size_ = 0;
+  std::uint64_t generation_ = 0;  // handle-stability epoch (see generation())
 };
 
 }  // namespace remo

@@ -1,0 +1,104 @@
+// remo::fuzz case generator: determinism, matrix coverage, stream shape.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "fuzz/fuzz.hpp"
+
+namespace remo::test {
+namespace {
+
+using fuzz::Algo;
+using fuzz::FuzzCase;
+using fuzz::GenOptions;
+
+TEST(FuzzGenerator, SameSeedSameCase) {
+  EXPECT_EQ(fuzz::make_case(42), fuzz::make_case(42));
+  EXPECT_NE(fuzz::make_case(42), fuzz::make_case(43));
+}
+
+TEST(FuzzGenerator, OptionsAreHonoured) {
+  GenOptions opts;
+  opts.num_vertices = 16;
+  opts.num_events = 100;
+  opts.max_weight = 3;
+  const FuzzCase fc = fuzz::make_case(7, opts);
+  EXPECT_EQ(fc.events.size(), 100u);
+  EXPECT_LT(fc.source, 16u);
+  for (const EdgeEvent& e : fc.events) {
+    EXPECT_LT(e.src, 16u);
+    EXPECT_LT(e.dst, 16u);
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 3u);
+  }
+}
+
+TEST(FuzzGenerator, IndexedWindowCoversTheFullMatrix) {
+  // Any 32 consecutive indices must cover {4 algos} x {1,2,4,8 ranks} x
+  // {both detectors} exactly once each.
+  for (std::uint64_t base : {0ull, 5ull}) {
+    std::set<std::tuple<Algo, std::uint32_t, TerminationMode>> combos;
+    for (std::uint64_t i = base; i < base + 32; ++i) {
+      const FuzzCase fc = fuzz::make_case_indexed(i, /*base_seed=*/1);
+      combos.insert({fc.config.algo, fc.config.ranks, fc.config.termination});
+      EXPECT_TRUE(fc.config.ranks == 1 || fc.config.ranks == 2 ||
+                  fc.config.ranks == 4 || fc.config.ranks == 8);
+    }
+    EXPECT_EQ(combos.size(), 32u) << "window starting at " << base;
+  }
+}
+
+TEST(FuzzGenerator, DeleteEventsOnlyForDeleteCapableAlgos) {
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const FuzzCase fc = fuzz::make_case_indexed(i, /*base_seed=*/3);
+    bool has_delete = false;
+    for (const EdgeEvent& e : fc.events)
+      has_delete |= e.op == EdgeOp::kDelete;
+    if (!fuzz::algo_supports_deletes(fc.config.algo)) {
+      EXPECT_FALSE(has_delete) << "add-only algo got deletes at index " << i;
+    }
+  }
+}
+
+TEST(FuzzGenerator, SurvivingEdgesFoldsPerPair) {
+  std::vector<EdgeEvent> events{
+      {1, 2, 5, EdgeOp::kAdd},     // pair {1,2} born...
+      {2, 1, 7, EdgeOp::kAdd},     // ...weight updated via the other side
+      {3, 4, 2, EdgeOp::kAdd},     // pair {3,4} survives untouched
+      {1, 2, 7, EdgeOp::kDelete},  // pair {1,2} dies
+      {5, 6, 1, EdgeOp::kAdd},     // pair {5,6} born...
+      {5, 6, 1, EdgeOp::kDelete},  // ...dies...
+      {6, 5, 9, EdgeOp::kAdd},     // ...reborn with the new weight
+  };
+  const EdgeList survivors = fuzz::surviving_edges(events);
+  ASSERT_EQ(survivors.size(), 2u);
+  std::set<std::tuple<VertexId, VertexId, Weight>> got;
+  for (const Edge& e : survivors) {
+    const VertexId lo = e.src < e.dst ? e.src : e.dst;
+    const VertexId hi = e.src < e.dst ? e.dst : e.src;
+    got.insert({lo, hi, e.weight});
+  }
+  EXPECT_TRUE(got.count({3, 4, 2}));
+  EXPECT_TRUE(got.count({5, 6, 9}));
+}
+
+TEST(FuzzGenerator, AlgoNamesRoundTrip) {
+  for (Algo a : {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt}) {
+    Algo back{};
+    ASSERT_TRUE(fuzz::algo_from_name(fuzz::algo_name(a), back));
+    EXPECT_EQ(back, a);
+  }
+  Algo out{};
+  EXPECT_FALSE(fuzz::algo_from_name("pagerank", out));
+}
+
+TEST(FuzzGenerator, DescribeMentionsTheBigAxes) {
+  const FuzzCase fc = fuzz::make_case(99);
+  const std::string line = fuzz::describe(fc);
+  EXPECT_NE(line.find(fuzz::algo_name(fc.config.algo)), std::string::npos);
+  EXPECT_NE(line.find("seed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,92 @@
+// Greedy event-stream shrinker: convergence, 1-minimality, order
+// preservation, and the predicate-call budget.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzz/shrink.hpp"
+
+namespace remo::test {
+namespace {
+
+std::vector<EdgeEvent> filler(std::size_t n) {
+  std::vector<EdgeEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    events.push_back(EdgeEvent{100 + i, 200 + i, 1, EdgeOp::kAdd});
+  return events;
+}
+
+bool is_marker(const EdgeEvent& e) { return e.src == 1 && e.dst == 2; }
+
+// Fails iff both marker events survive, in order (dst weight 7 before 9).
+bool needs_both_markers(const std::vector<EdgeEvent>& events) {
+  bool saw_first = false;
+  for (const EdgeEvent& e : events) {
+    if (!is_marker(e)) continue;
+    if (e.weight == 7) saw_first = true;
+    if (e.weight == 9 && saw_first) return true;
+  }
+  return false;
+}
+
+TEST(Shrink, ReducesToTheMinimalCore) {
+  auto events = filler(200);
+  events[37] = EdgeEvent{1, 2, 7, EdgeOp::kAdd};
+  events[161] = EdgeEvent{1, 2, 9, EdgeOp::kAdd};
+  ASSERT_TRUE(needs_both_markers(events));
+
+  fuzz::ShrinkStats stats;
+  const auto shrunk =
+      fuzz::shrink_events(events, needs_both_markers, &stats, /*max_runs=*/5000);
+  ASSERT_EQ(shrunk.size(), 2u) << "not 1-minimal";
+  EXPECT_EQ(shrunk[0].weight, 7u);
+  EXPECT_EQ(shrunk[1].weight, 9u);
+  EXPECT_EQ(stats.original_size, 200u);
+  EXPECT_EQ(stats.final_size, 2u);
+  EXPECT_GT(stats.runs, 0u);
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+TEST(Shrink, ResultIsASubsequenceOfTheInput) {
+  auto events = filler(64);
+  events[10] = EdgeEvent{1, 2, 7, EdgeOp::kAdd};
+  events[50] = EdgeEvent{1, 2, 9, EdgeOp::kAdd};
+  const auto shrunk = fuzz::shrink_events(events, needs_both_markers);
+  // Subsequence check: walk the input, matching shrunk events in order.
+  std::size_t j = 0;
+  for (const EdgeEvent& e : events)
+    if (j < shrunk.size() && e == shrunk[j]) ++j;
+  EXPECT_EQ(j, shrunk.size()) << "shrinker reordered or invented events";
+}
+
+TEST(Shrink, AlwaysFailingPredicateShrinksToNothing) {
+  fuzz::ShrinkStats stats;
+  const auto shrunk = fuzz::shrink_events(
+      filler(33), [](const std::vector<EdgeEvent>&) { return true; }, &stats);
+  EXPECT_TRUE(shrunk.empty());
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+TEST(Shrink, IrreducibleInputSurvivesUntouched) {
+  auto events = filler(8);
+  // Fails only when every event is present.
+  const auto all_present = [](const std::vector<EdgeEvent>& es) {
+    return es.size() >= 8;
+  };
+  const auto shrunk = fuzz::shrink_events(events, all_present);
+  EXPECT_EQ(shrunk, events);
+}
+
+TEST(Shrink, BudgetStopsTheSearch) {
+  auto events = filler(256);
+  events[3] = EdgeEvent{1, 2, 7, EdgeOp::kAdd};
+  events[250] = EdgeEvent{1, 2, 9, EdgeOp::kAdd};
+  fuzz::ShrinkStats stats;
+  fuzz::shrink_events(events, needs_both_markers, &stats, /*max_runs=*/3);
+  EXPECT_LE(stats.runs, 3u);
+  EXPECT_TRUE(stats.budget_exhausted);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,117 @@
+// Keyed stream splitting and pair-preserving permutation — the generator
+// contracts the fuzzer's soundness rests on: per-pair event history is
+// never reordered, so a mixed add/delete stream's final topology is a pure
+// function of the event multiset regardless of interleaving.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gen/stream.hpp"
+
+namespace remo::test {
+namespace {
+
+std::vector<EdgeEvent> random_events(std::uint64_t seed, std::size_t n,
+                                     VertexId num_vertices) {
+  Xoshiro256 rng(seed);
+  std::vector<EdgeEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EdgeEvent e;
+    e.src = rng.bounded(num_vertices);
+    e.dst = rng.bounded(num_vertices);
+    e.weight = static_cast<Weight>(1 + rng.bounded(8));
+    e.op = rng.bounded(4) == 0 ? EdgeOp::kDelete : EdgeOp::kAdd;
+    events.push_back(e);
+  }
+  return events;
+}
+
+// The per-pair subsequence of `events`, in order.
+std::map<std::uint64_t, std::vector<EdgeEvent>> pair_histories(
+    const std::vector<EdgeEvent>& events) {
+  std::map<std::uint64_t, std::vector<EdgeEvent>> h;
+  for (const EdgeEvent& e : events) h[event_pair_key(e)].push_back(e);
+  return h;
+}
+
+TEST(StreamKeyed, PairKeyIgnoresOrientation) {
+  EdgeEvent fwd{3, 9, 1, EdgeOp::kAdd};
+  EdgeEvent rev{9, 3, 5, EdgeOp::kDelete};
+  EdgeEvent other{3, 10, 1, EdgeOp::kAdd};
+  EXPECT_EQ(event_pair_key(fwd), event_pair_key(rev));
+  EXPECT_NE(event_pair_key(fwd), event_pair_key(other));
+}
+
+TEST(StreamKeyed, SplitKeepsEachPairOnOneStreamInOrder) {
+  // With only 24 vertices and 500 events, most pairs repeat — the property
+  // is vacuous otherwise.
+  const auto events = random_events(11, 500, 24);
+  const auto want = pair_histories(events);
+
+  const StreamSet set = split_events_keyed(events, 4, /*seed=*/99);
+  ASSERT_EQ(set.num_streams(), 4u);
+  EXPECT_EQ(set.total_events(), events.size());
+
+  std::map<std::uint64_t, std::size_t> pair_stream;
+  std::map<std::uint64_t, std::vector<EdgeEvent>> got;
+  for (std::size_t s = 0; s < set.num_streams(); ++s) {
+    for (const EdgeEvent& e : set.stream(s).events()) {
+      const auto key = event_pair_key(e);
+      auto [it, fresh] = pair_stream.emplace(key, s);
+      EXPECT_EQ(it->second, s) << "pair split across streams";
+      (void)fresh;
+      got[key].push_back(e);
+    }
+  }
+  EXPECT_EQ(got, want) << "per-pair history reordered by the split";
+}
+
+TEST(StreamKeyed, SplitSeedVariesPlacementOnly) {
+  const auto events = random_events(12, 300, 24);
+  const auto want = pair_histories(events);
+  bool saw_different_placement = false;
+  std::map<std::uint64_t, std::size_t> first_placement;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const StreamSet set = split_events_keyed(events, 4, seed);
+    std::map<std::uint64_t, std::vector<EdgeEvent>> got;
+    std::map<std::uint64_t, std::size_t> placement;
+    for (std::size_t s = 0; s < set.num_streams(); ++s)
+      for (const EdgeEvent& e : set.stream(s).events()) {
+        got[event_pair_key(e)].push_back(e);
+        placement.emplace(event_pair_key(e), s);
+      }
+    EXPECT_EQ(got, want);
+    if (first_placement.empty())
+      first_placement = placement;
+    else if (placement != first_placement)
+      saw_different_placement = true;
+  }
+  EXPECT_TRUE(saw_different_placement)
+      << "three seeds produced identical pair->stream assignments";
+}
+
+TEST(StreamKeyed, PermutePreservesPairOrder) {
+  const auto events = random_events(13, 400, 16);
+  const auto want = pair_histories(events);
+  bool saw_reorder = false;
+  for (std::uint64_t seed : {5ull, 6ull, 7ull}) {
+    const auto shuffled = permute_preserving_pairs(events, seed);
+    ASSERT_EQ(shuffled.size(), events.size());
+    EXPECT_EQ(pair_histories(shuffled), want)
+        << "permutation reordered a pair's history";
+    if (shuffled != events) saw_reorder = true;
+  }
+  EXPECT_TRUE(saw_reorder) << "permutation was the identity on every seed";
+}
+
+TEST(StreamKeyed, PermuteIsDeterministicPerSeed) {
+  const auto events = random_events(14, 200, 16);
+  EXPECT_EQ(permute_preserving_pairs(events, 77),
+            permute_preserving_pairs(events, 77));
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,71 @@
+// Replay every checked-in fuzz repro and require zero divergence.
+//
+// tests/integration/repros/ is the graveyard of engine races the fuzzer
+// has caught (docs/TESTING.md, "The bug hunt"): each file is a shrunk
+// remo-repro-1 case that once produced a converged-state diff against the
+// static oracle. The suite globs the directory, so burying a new bug is
+// one `cp fuzz-out/divergence-*.min.repro tests/integration/repros/` —
+// no code change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+#include "fuzz/repro.hpp"
+
+#ifndef REMO_REPRO_DIR
+#error "REMO_REPRO_DIR must point at tests/integration/repros"
+#endif
+
+namespace remo::test {
+namespace {
+
+std::vector<std::filesystem::path> repro_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(REMO_REPRO_DIR)) {
+    if (entry.path().extension() == ".repro") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Repros, DirectoryIsNotEmpty) {
+  // At minimum the two races this PR fixed plus the delete-heavy and
+  // adversarial-interleaving suites.
+  EXPECT_GE(repro_files().size(), 4u);
+}
+
+TEST(Repros, EveryCheckedInReproReplaysClean) {
+  for (const auto& path : repro_files()) {
+    fuzz::FuzzCase fc;
+    std::string err;
+    ASSERT_TRUE(fuzz::read_repro(path.string(), fc, &err))
+        << path << ": " << err;
+    const fuzz::RunResult rr = fuzz::run_case(fc);
+    EXPECT_TRUE(rr.ok()) << path.filename() << " regressed ("
+                         << fuzz::describe(fc) << "): "
+                         << rr.divergences.size() << " divergent vertices";
+  }
+}
+
+TEST(Repros, RacyCasesStayCleanAcrossRepeatedReplays) {
+  // The two fixed races were schedule-dependent (the stale-update one
+  // reproduced on ~7 of 8 runs pre-fix). A handful of replays keeps a
+  // reintroduced race from slipping through on one lucky schedule.
+  for (const char* name : {"orientation-race.repro", "stale-update-race.repro"}) {
+    const auto path = std::filesystem::path(REMO_REPRO_DIR) / name;
+    fuzz::FuzzCase fc;
+    std::string err;
+    ASSERT_TRUE(fuzz::read_repro(path.string(), fc, &err)) << err;
+    for (int run = 0; run < 5; ++run)
+      ASSERT_TRUE(fuzz::run_case(fc).ok())
+          << name << " diverged on replay " << run;
+  }
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -1,0 +1,84 @@
+// Regression: the sender-side coalescing key must include the epoch.
+// Merging a pre-bump Update into a post-bump one (or vice versa) would let
+// a versioned collection's frozen S_prev view observe a value from the
+// wrong side of the epoch boundary. Forces an epoch bump between enqueue
+// and flush and asserts the visitors stay distinct.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace remo::test {
+namespace {
+
+StateWord min_combine(const void*, StateWord a, StateWord b) {
+  return a < b ? a : b;
+}
+
+Visitor update(VertexId target, VertexId other, StateWord value,
+               std::uint16_t epoch) {
+  Visitor v{};
+  v.target = target;
+  v.other = other;
+  v.value = value;
+  v.kind = VisitKind::kUpdate;
+  v.algo = 0;
+  v.epoch = epoch;
+  return v;
+}
+
+TEST(CoalesceEpoch, EpochBumpBetweenEnqueueAndFlushKeepsVisitorsDistinct) {
+  Comm comm(2, /*batch_size=*/64);
+  comm.register_combiner(0, nullptr, &min_combine);
+
+  // Same (program, target, sender) key; the epoch bumps in between — as it
+  // does when a versioned collection starts while updates sit buffered.
+  EXPECT_FALSE(comm.send(0, 1, update(7, 3, 10, /*epoch=*/4)));
+  EXPECT_FALSE(comm.send(0, 1, update(7, 3, 8, /*epoch=*/5)));
+  comm.flush(0);
+
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.mailbox(1).drain(out));
+  ASSERT_EQ(out.size(), 2u) << "epoch-crossing updates must never merge";
+  EXPECT_EQ(out[0].epoch, 4u);
+  EXPECT_EQ(out[0].value, 10u);
+  EXPECT_EQ(out[1].epoch, 5u);
+  EXPECT_EQ(out[1].value, 8u);
+  // Both were accounted in their own parity.
+  EXPECT_EQ(comm.in_flight(0), 1);
+  EXPECT_EQ(comm.in_flight(1), 1);
+}
+
+TEST(CoalesceEpoch, SameEpochStillCoalesces) {
+  // Control: with matching epochs the pair DOES merge (second send reports
+  // coalesced-away and only one visitor travels).
+  Comm comm(2, /*batch_size=*/64);
+  comm.register_combiner(0, nullptr, &min_combine);
+  EXPECT_FALSE(comm.send(0, 1, update(7, 3, 10, /*epoch=*/4)));
+  EXPECT_TRUE(comm.send(0, 1, update(7, 3, 8, /*epoch=*/4)));
+  comm.flush(0);
+
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.mailbox(1).drain(out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 8u);  // min(10, 8)
+  EXPECT_EQ(comm.in_flight(0), 1);
+}
+
+TEST(CoalesceEpoch, EpochParityWrapKeepsDistinctEpochsApart) {
+  // Epochs 4 and 6 share parity (both land in the same in-flight shard)
+  // but are different epochs: they must still not merge.
+  Comm comm(2, /*batch_size=*/64);
+  comm.register_combiner(0, nullptr, &min_combine);
+  EXPECT_FALSE(comm.send(0, 1, update(7, 3, 10, /*epoch=*/4)));
+  EXPECT_FALSE(comm.send(0, 1, update(7, 3, 8, /*epoch=*/6)));
+  comm.flush(0);
+
+  std::vector<Visitor> out;
+  ASSERT_TRUE(comm.mailbox(1).drain(out));
+  ASSERT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace remo::test

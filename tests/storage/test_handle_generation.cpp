@@ -1,0 +1,145 @@
+// Handle-invalidation audit (the RobinHoodMap satellite of the fuzzing PR):
+// every operation that can move a resident entry must bump the structure's
+// generation(), because the engine's ingest hot path holds EdgeProp*/
+// TwoTierAdjacency* handles across calls and asserts on the counter instead
+// of re-probing. These tests pin the bump sites layer by layer — map,
+// adjacency, store — and exercise the re-resolution discipline a caller
+// must follow when the counter does change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/adjacency.hpp"
+#include "storage/degaware_store.hpp"
+#include "storage/robin_hood_map.hpp"
+
+namespace remo::test {
+namespace {
+
+constexpr std::uint32_t kThresh = 8;
+
+TEST(RobinHoodGeneration, GrowthRehashBumps) {
+  RobinHoodMap<std::uint64_t, std::uint64_t> map;
+  const auto g0 = map.generation();
+  map.insert_or_assign(1, 10);  // empty -> kMinCapacity rehash
+  EXPECT_GT(map.generation(), g0);
+
+  map.reserve(64);
+  const auto g1 = map.generation();
+  // Stay under the load factor: no growth, so any further bumps below come
+  // only from displacement — tolerated, but growth alone must show up too.
+  for (std::uint64_t k = 2; k < 40; ++k) map.insert_or_assign(k, k);
+  const auto g2 = map.generation();
+  for (std::uint64_t k = 40; k < 400; ++k) map.insert_or_assign(k, k);  // grows
+  EXPECT_GT(map.generation(), g2);
+  (void)g1;
+}
+
+TEST(RobinHoodGeneration, EraseAndClearBump) {
+  RobinHoodMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t k = 0; k < 16; ++k) map.insert_or_assign(k, k);
+  const auto g0 = map.generation();
+  EXPECT_FALSE(map.erase(999));  // miss: nothing moved
+  EXPECT_EQ(map.generation(), g0);
+  EXPECT_TRUE(map.erase(7));  // backward shift: residents move
+  const auto g1 = map.generation();
+  EXPECT_GT(g1, g0);
+  map.clear();
+  EXPECT_GT(map.generation(), g1);
+}
+
+TEST(RobinHoodGeneration, UnchangedGenerationMeansLiveHandle) {
+  // The contract the engine relies on, exercised as an invariant: whenever
+  // an interleaved insert leaves generation() unchanged, a previously
+  // obtained Value* must still address the same entry.
+  RobinHoodMap<std::uint64_t, std::uint64_t> map;
+  map.reserve(256);
+  map.insert_or_assign(42, 4242);
+  std::uint64_t* handle = map.find(42);
+  ASSERT_NE(handle, nullptr);
+  auto gen = map.generation();
+  for (std::uint64_t k = 1000; k < 1150; ++k) {
+    map.insert_or_assign(k, k);
+    if (map.generation() != gen) {
+      handle = map.find(42);  // re-resolve, as the contract demands
+      ASSERT_NE(handle, nullptr);
+      gen = map.generation();
+    }
+    ASSERT_EQ(*handle, 4242u) << "stale handle after inserting " << k;
+  }
+}
+
+TEST(AdjacencyGeneration, InlineReallocBumps) {
+  TwoTierAdjacency adj;
+  // SmallVector inline capacity is 2: the first two edges stay put...
+  adj.insert(1, 1, kThresh);
+  adj.insert(2, 1, kThresh);
+  const auto g0 = adj.generation();
+  // ...and the third reallocates the buffer, killing EdgeProp handles.
+  adj.insert(3, 1, kThresh);
+  EXPECT_GT(adj.generation(), g0);
+}
+
+TEST(AdjacencyGeneration, SwapEraseBumps) {
+  TwoTierAdjacency adj;
+  adj.insert(1, 1, kThresh);
+  adj.insert(2, 1, kThresh);
+  adj.insert(3, 1, kThresh);
+  const auto g0 = adj.generation();
+  EXPECT_FALSE(adj.erase(99));  // miss: no move, no bump
+  EXPECT_EQ(adj.generation(), g0);
+  EXPECT_TRUE(adj.erase(1));  // tail edge swaps into the hole
+  EXPECT_GT(adj.generation(), g0);
+}
+
+TEST(AdjacencyGeneration, PromotionBumps) {
+  TwoTierAdjacency adj;
+  for (VertexId n = 0; n < kThresh; ++n) adj.insert(n, 1, kThresh);
+  ASSERT_FALSE(adj.promoted());
+  const auto g0 = adj.generation();
+  adj.insert(kThresh, 1, kThresh);  // crosses the threshold
+  ASSERT_TRUE(adj.promoted());
+  EXPECT_GT(adj.generation(), g0);
+}
+
+TEST(AdjacencyGeneration, TableTierMutationsFlowThrough) {
+  TwoTierAdjacency adj;
+  for (VertexId n = 0; n < 64; ++n) adj.insert(n, 1, kThresh);
+  ASSERT_TRUE(adj.promoted());
+  const auto g0 = adj.generation();
+  EXPECT_TRUE(adj.erase(5));  // table backward-shift
+  EXPECT_GT(adj.generation(), g0);
+}
+
+TEST(StoreGeneration, VertexMapGrowthInvalidatesInsertResult) {
+  DegAwareStore store;
+  auto res = store.insert_edge(1, 2, 7);
+  ASSERT_TRUE(res.new_edge);
+  ASSERT_NE(res.adj, nullptr);
+  const auto gen = store.generation();
+  // Flood the vertex map so records move (rehash / displacement). The old
+  // InsertResult handles are now suspect; the generation says so.
+  for (VertexId v = 100; v < 400; ++v) store.insert_edge(v, v + 1, 1);
+  EXPECT_NE(store.generation(), gen);
+  // Re-resolution — not the stale handle — recovers the edge.
+  TwoTierAdjacency* adj = store.adjacency(1);
+  ASSERT_NE(adj, nullptr);
+  EdgeProp* prop = adj->find(2);
+  ASSERT_NE(prop, nullptr);
+  EXPECT_EQ(prop->weight, 7u);
+}
+
+TEST(StoreGeneration, SameVertexEdgeChurnLeavesVertexMapAlone) {
+  DegAwareStore store;
+  store.insert_edge(1, 2, 1);
+  const auto gen = store.generation();
+  // Mutating one vertex's adjacency moves nothing in the vertex map...
+  for (VertexId n = 3; n < 30; ++n) store.insert_edge(1, n, 1);
+  EXPECT_EQ(store.generation(), gen);
+  // ...but the adjacency's own generation does advance (promotion happened).
+  EXPECT_TRUE(store.adjacency(1)->promoted());
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -79,6 +80,21 @@ int usage() {
                "                [--watch] [--metrics-out FILE] [--metrics-period MS]\n"
                "                [--metrics-format jsonl|prom] [--watchdog]\n"
                "  remo trace-analyze --lineage FILE [--top K] [--min-descendants N]\n"
+               "  remo fuzz       [--seeds N] [--seed-base S] [--vertices N]\n"
+               "                  [--events N] [--deletes PERMILLE] [--max-weight W]\n"
+               "                  [--out-dir DIR] [--keep-going] [--no-shrink]\n"
+               "                  [--shrink-runs N]\n"
+               "  remo fuzz-repro --file FILE [--shrink] [--out FILE]\n"
+               "\n"
+               "differential fuzzing (docs/TESTING.md):\n"
+               "  fuzz               run N seeded cases across the algorithm x\n"
+               "                     ranks x detector matrix, diffing converged\n"
+               "                     state against the static oracles; exit 1 and\n"
+               "                     drop a remo-repro-1 file in --out-dir\n"
+               "                     (default fuzz-out/) on any divergence\n"
+               "  fuzz-repro         replay one repro file byte-for-byte; with\n"
+               "                     --shrink, minimise it first and write the\n"
+               "                     result to --out (default FILE.min)\n"
                "\n"
                "observability (docs/OBSERVABILITY.md):\n"
                "  --stats            print counters, latency percentiles, phase times\n"
@@ -422,6 +438,124 @@ int cmd_trace_analyze(const Args& a) {
   return 0;
 }
 
+// --- Differential fuzzing (docs/TESTING.md) --------------------------------
+
+void print_divergences(const fuzz::RunResult& rr) {
+  const std::size_t show = std::min<std::size_t>(rr.divergences.size(), 16);
+  for (std::size_t i = 0; i < show; ++i) {
+    const fuzz::Divergence& d = rr.divergences[i];
+    std::fprintf(stderr, "  vertex %llu: got %llu, want %llu\n",
+                 static_cast<unsigned long long>(d.vertex),
+                 static_cast<unsigned long long>(d.got),
+                 static_cast<unsigned long long>(d.want));
+  }
+  if (rr.divergences.size() > show)
+    std::fprintf(stderr, "  ... and %zu more\n", rr.divergences.size() - show);
+}
+
+// Shrink a failing case's event stream, preserving "some divergence exists"
+// (the minimal stream may fail differently than the original — that is
+// fine, it is still an engine bug with fewer moving parts).
+fuzz::FuzzCase shrink_case(const fuzz::FuzzCase& fc, std::size_t max_runs,
+                           fuzz::ShrinkStats* stats) {
+  fuzz::FuzzCase out = fc;
+  out.events = fuzz::shrink_events(
+      fc.events,
+      [&fc](const std::vector<EdgeEvent>& candidate) {
+        fuzz::FuzzCase probe = fc;
+        probe.events = candidate;
+        return !fuzz::run_case(probe).ok();
+      },
+      stats, max_runs);
+  return out;
+}
+
+int cmd_fuzz(const Args& a) {
+  fuzz::CampaignOptions opts;
+  opts.num_cases = static_cast<std::uint32_t>(a.num("seeds", 50));
+  opts.base_seed = a.num("seed-base", 1);
+  opts.gen.num_vertices = static_cast<std::uint32_t>(a.num("vertices", 96));
+  opts.gen.num_events = static_cast<std::uint32_t>(a.num("events", 600));
+  opts.gen.delete_permille = static_cast<std::uint32_t>(a.num("deletes", 250));
+  opts.gen.max_weight = static_cast<Weight>(a.num("max-weight", 8));
+  const bool keep_going = a.flag("keep-going");
+  const bool do_shrink = !a.flag("no-shrink");
+  const std::size_t shrink_runs = a.num("shrink-runs", 400);
+  const std::string out_dir = a.str("out-dir", "fuzz-out");
+
+  std::uint64_t failed = 0;
+  opts.on_case = [&](const fuzz::FuzzCase& fc, const fuzz::RunResult& rr) {
+    if (rr.ok()) return true;
+    ++failed;
+    std::fprintf(stderr, "DIVERGENCE [%s]\n", fuzz::describe(fc).c_str());
+    std::fprintf(stderr, "  %zu vertex(es) diverged of %zu checked:\n",
+                 rr.divergences.size(), rr.vertices_checked);
+    print_divergences(rr);
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const std::string base =
+        out_dir + "/divergence-" + std::to_string(fc.seed);
+    std::string err;
+    if (!fuzz::write_repro(base + ".repro", fc, &err))
+      std::fprintf(stderr, "  %s\n", err.c_str());
+    else
+      std::fprintf(stderr, "  repro written to %s.repro\n", base.c_str());
+    if (do_shrink) {
+      fuzz::ShrinkStats st;
+      const fuzz::FuzzCase small = shrink_case(fc, shrink_runs, &st);
+      if (!fuzz::write_repro(base + ".min.repro", small, &err))
+        std::fprintf(stderr, "  %s\n", err.c_str());
+      else
+        std::fprintf(stderr,
+                     "  shrunk %zu -> %zu events (%zu runs%s) -> %s.min.repro\n",
+                     st.original_size, st.final_size, st.runs,
+                     st.budget_exhausted ? ", budget hit" : "", base.c_str());
+    }
+    return keep_going;
+  };
+
+  const fuzz::CampaignResult res = fuzz::run_campaign(opts);
+  std::printf("fuzz: %u case(s) run, %zu divergence(s)\n", res.cases_run,
+              res.failures.size());
+  return res.failures.empty() ? 0 : 1;
+}
+
+int cmd_fuzz_repro(const Args& a) {
+  const std::string path = a.str("file");
+  if (path.empty()) return usage();
+  fuzz::FuzzCase fc;
+  std::string err;
+  if (!fuzz::read_repro(path, fc, &err)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+    return 2;
+  }
+  std::printf("replaying [%s]\n", fuzz::describe(fc).c_str());
+  const fuzz::RunResult rr = fuzz::run_case(fc);
+  if (rr.ok()) {
+    std::printf("no divergence: %zu vertices checked against the oracle\n",
+                rr.vertices_checked);
+    return 0;
+  }
+  std::fprintf(stderr, "DIVERGENCE: %zu vertex(es) of %zu checked\n",
+               rr.divergences.size(), rr.vertices_checked);
+  print_divergences(rr);
+  if (a.flag("shrink")) {
+    fuzz::ShrinkStats st;
+    const fuzz::FuzzCase small =
+        shrink_case(fc, a.num("shrink-runs", 400), &st);
+    const std::string out = a.str("out", path + ".min");
+    if (!fuzz::write_repro(out, small, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    std::printf("shrunk %zu -> %zu events (%zu runs%s) -> %s\n",
+                st.original_size, st.final_size, st.runs,
+                st.budget_exhausted ? ", budget hit" : "", out.c_str());
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -430,5 +564,7 @@ int main(int argc, char** argv) {
   if (a.command == "stats") return cmd_stats(a);
   if (a.command == "ingest") return cmd_ingest(a);
   if (a.command == "trace-analyze") return cmd_trace_analyze(a);
+  if (a.command == "fuzz") return cmd_fuzz(a);
+  if (a.command == "fuzz-repro") return cmd_fuzz_repro(a);
   return usage();
 }
