@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <numeric>
 #include <sstream>
 
@@ -76,6 +77,10 @@ std::string BenchReport::path() const {
 
 bool BenchReport::write() const {
   const std::string out = path();
+  if (const auto dir = std::filesystem::path(out).parent_path(); !dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; fopen reports
+  }
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench: cannot open %s\n", out.c_str());

@@ -56,6 +56,11 @@
 #include "core/static_on_dynamic.hpp"
 #include "core/vertex_program.hpp"
 
+// Query serving plane (epoch-consistent reads, conflict-scheduled writes)
+#include "runtime/conflict.hpp"
+#include "serve/query_service.hpp"
+#include "serve/write_gate.hpp"
+
 // Differential fuzzing & deterministic replay
 #include "fuzz/fuzz.hpp"
 #include "fuzz/repro.hpp"

@@ -412,6 +412,7 @@ Snapshot Engine::collect_quiescent(ProgramId p) {
   pause_streams();
   await_in_flight_zero();
   Snapshot snap = harvest(p);
+  snap.set_epoch(epoch_.load(std::memory_order_acquire));
   if (!was_paused) resume_streams();
   if (main_trace_)
     main_trace_->emit("collect_quiescent", t0, obs_now() - t0, "vertices",
@@ -461,6 +462,7 @@ Snapshot Engine::collect_versioned(ProgramId p) {
   // the global algorithm state at the discretisation point, while new-epoch
   // ingestion continues untouched.
   Snapshot snap = harvest(p);
+  snap.set_epoch(new_epoch);
   versioned_active_.store(false, std::memory_order_release);
   if (main_trace_)
     main_trace_->emit("collect_versioned", t0, obs_now() - t0, "vertices",

@@ -142,8 +142,9 @@ class Engine {
   TriggerId when(ProgramId p, VertexId v, TriggerPredicate pred, TriggerAction act);
 
   /// Fire `act` whenever *any* vertex's state transitions into `pred`
-  /// (at most once per vertex). Registration is prospective: existing
-  /// satisfied vertices do not fire.
+  /// (once per upward crossing — at most once per vertex under add-only
+  /// events; delete-era repair may re-cross, see query.hpp). Registration
+  /// is prospective: existing satisfied vertices do not fire.
   TriggerId when_any(ProgramId p, TriggerPredicate pred, TriggerAction act);
 
   // --- Decremental repair (Section VI-B) ---------------------------------------

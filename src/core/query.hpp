@@ -1,11 +1,33 @@
 // "When" queries — local-state triggers (Sections II and III-E).
 //
 // A trigger binds a predicate over a vertex's local algorithm state to a
-// user callback. For REMO programs the predicate is expected to be
-// *monotone* (once true, true forever given add-only events): the paper's
-// two guarantees — no false positives and fire-exactly-once — then follow,
-// and the engine enforces the exactly-once part by retiring a trigger when
-// it fires.
+// user callback.
+//
+// Add-only regime (the paper's): program state is monotone, so a predicate
+// that becomes true stays true, and the paper's two guarantees — no false
+// positives and fire-exactly-once — both follow.
+//
+// Delete-era semantics (Section VI-B engine): repair waves can regress a
+// vertex's state (invalidate to identity, then reconverge), so "once true,
+// true forever" no longer holds. What the engine actually guarantees:
+//
+//  * VertexTrigger: fire-exactly-once holds UNCONDITIONALLY — the engine
+//    retires the trigger before running its action, including when the
+//    satisfying transition happens inside a repair wave. The fired value
+//    satisfied the predicate at the instant of firing, but a later delete
+//    may invalidate it; a delete/re-add sequence that re-satisfies the
+//    predicate does NOT re-fire a retired trigger
+//    (tests/engine/test_triggers.cpp pins this).
+//
+//  * GlobalTrigger: fires on every UPWARD CROSSING of the predicate
+//    (!pred(old) && pred(new)). "At most once per vertex" is therefore an
+//    add-only-regime property: under deletes, repair can regress a vertex
+//    below the predicate and a later re-add can re-cross it, firing again
+//    for the same vertex. Deduplicate in the callback if the application
+//    needs per-vertex exactly-once under deletes.
+//
+// docs/SERVING.md relates these live-observation semantics to the serving
+// plane's epoch-consistent snapshot reads.
 //
 // Callbacks run inline on the owning rank's thread, at the instant the
 // state transition happens; they must not block and must be thread-safe
@@ -34,7 +56,9 @@ struct VertexTrigger {
 /// A trigger evaluated on *every* vertex state change on the rank that owns
 /// the changing vertex ("notify whenever any account connects to a flagged
 /// source"). Unlike VertexTrigger it is not retired after firing; it fires
-/// at most once per vertex.
+/// once per upward predicate crossing — at most once per vertex in the
+/// add-only regime, possibly again per vertex when delete-era repair
+/// regresses and re-crosses the predicate (see the header comment).
 struct GlobalTrigger {
   TriggerPredicate predicate;
   TriggerAction action;

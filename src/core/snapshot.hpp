@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -39,12 +40,21 @@ class Snapshot {
   StateWord identity() const noexcept { return identity_; }
   const std::vector<Entry>& entries() const noexcept { return entries_; }
 
+  /// Engine epoch in force when this snapshot's cut was taken (stamped by
+  /// the collect paths; metadata only — not part of value equality).
+  /// collect_versioned stamps the post-cut epoch, so snapshots from
+  /// successive cuts carry strictly increasing epochs (mod 2^16); the
+  /// serving plane's read-epoch pin (docs/SERVING.md) is built on this.
+  std::uint16_t epoch() const noexcept { return epoch_; }
+  void set_epoch(std::uint16_t e) noexcept { epoch_ = e; }
+
   auto begin() const noexcept { return entries_.begin(); }
   auto end() const noexcept { return entries_.end(); }
 
  private:
   std::vector<Entry> entries_;  // sorted by vertex id
   StateWord identity_ = kInfiniteState;
+  std::uint16_t epoch_ = 0;
 };
 
 }  // namespace remo

@@ -1,7 +1,9 @@
 #include "fuzz/fuzz.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
@@ -17,6 +19,7 @@
 #include "graph/static_cc.hpp"
 #include "graph/static_sssp.hpp"
 #include "graph/static_st.hpp"
+#include "serve/query_service.hpp"
 #include "storage/robin_hood_map.hpp"
 
 namespace remo::fuzz {
@@ -222,7 +225,7 @@ EdgeList surviving_edges(const std::vector<EdgeEvent>& events) {
   return out;
 }
 
-RunResult run_case(const FuzzCase& fc) {
+RunResult run_case(const FuzzCase& fc, const RunOptions& run) {
   const CaseConfig& c = fc.config;
   REMO_CHECK(c.ranks >= 1 && c.streams >= 1);
 
@@ -274,7 +277,38 @@ RunResult run_case(const FuzzCase& fc) {
     }
   }
 
-  engine.ingest(split_events_keyed(fc.events, c.streams, fc.seed));
+  if (run.query_observer) {
+    // Query-observer mode: a serving plane auto-refreshes versioned views
+    // while the case ingests, and one observer thread hammers the catalog —
+    // checking that every pinned view is frozen (two reads agree) and that
+    // published versions only move forward. The observer cannot change the
+    // verdict (reads only), it just adds serve-plane interleavings.
+    serve::QueryService qs(engine,
+                           serve::QueryServiceConfig{.refresh_period_ms = 2});
+    qs.serve(id);
+    qs.start();
+    std::atomic<bool> ingest_done{false};
+    std::thread observer([&] {
+      Xoshiro256 rng(fc.seed ^ 0x9e3779b97f4a7c15ULL);
+      std::uint64_t last_version = 0;
+      while (!ingest_done.load(std::memory_order_acquire)) {
+        const VertexId v = static_cast<VertexId>(rng.bounded(96));
+        const auto view = qs.view(id);
+        REMO_CHECK_MSG(view->version() >= last_version,
+                       "published view version went backwards");
+        last_version = view->version();
+        const StateWord first = view->at(v);
+        REMO_CHECK_MSG(first == view->at(v), "pinned view answer not frozen");
+        (void)qs.reachable(id, v);
+      }
+    });
+    engine.ingest(split_events_keyed(fc.events, c.streams, fc.seed));
+    ingest_done.store(true, std::memory_order_release);
+    observer.join();
+    qs.stop();
+  } else {
+    engine.ingest(split_events_keyed(fc.events, c.streams, fc.seed));
+  }
   if (has_deletes) engine.repair(id);
 
   // --- Differential check against the static oracle -----------------------
@@ -370,7 +404,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   CampaignResult res;
   for (std::uint64_t i = 0; i < opts.num_cases; ++i) {
     const FuzzCase fc = make_case_indexed(i, opts.base_seed, opts.gen);
-    const RunResult rr = run_case(fc);
+    const RunResult rr = run_case(fc, opts.run);
     ++res.cases_run;
     const bool keep_going = !opts.on_case || opts.on_case(fc, rr);
     if (!rr.ok()) {

@@ -118,11 +118,27 @@ struct RunResult {
   bool ok() const noexcept { return divergences.empty(); }
 };
 
+/// Runner knobs that are NOT part of the case identity (they never change
+/// the verdict or the repro serialisation — a repro replays byte-for-byte
+/// with or without them).
+struct RunOptions {
+  /// Query-observer mode (`remo fuzz --query-observer`): while the case
+  /// ingests, a serve::QueryService auto-refreshes versioned views of the
+  /// program and an observer thread hammers the point-query catalog,
+  /// checking every pinned view for internal consistency (frozen answers,
+  /// monotone versions). Adds serving-plane interleavings to the fuzzed
+  /// schedule space; off by default because it roughly doubles a case's
+  /// wall-clock. docs/TESTING.md §fuzzing covers the interplay.
+  bool query_observer = false;
+
+  friend bool operator==(const RunOptions&, const RunOptions&) = default;
+};
+
 /// Replay a case to quiescence and diff against the static oracle.
 /// Deterministic in its verdict: the converged state is
 /// schedule-independent, so the divergence list is identical on every
-/// replay of the same case.
-RunResult run_case(const FuzzCase& fc);
+/// replay of the same case (RunOptions never affect it).
+RunResult run_case(const FuzzCase& fc, const RunOptions& run = {});
 
 /// The final topology a case's event stream describes: fold per unordered
 /// pair in generation order (the keyed split serialises each pair onto one
@@ -140,6 +156,7 @@ struct CampaignOptions {
   std::uint64_t base_seed = 1;
   std::uint32_t num_cases = 50;
   GenOptions gen{};
+  RunOptions run{};
   /// Return false to stop the campaign after this case.
   std::function<bool(const FuzzCase&, const RunResult&)> on_case;
 };

@@ -1,0 +1,194 @@
+#include "serve/query_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.hpp"
+
+namespace remo::serve {
+namespace {
+
+constexpr std::size_t kMaxServePrograms = 32;  // Engine::attach's cap
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Json ServeStats::to_json() const {
+  Json j = Json::object();
+  j["queries_served"] = queries_served;
+  j["refreshes"] = refreshes;
+  j["served_programs"] = served_programs;
+  j["read_epoch_lag_events"] = read_epoch_lag_events;
+  j["view_age_ns"] = view_age_ns;
+  return j;
+}
+
+QueryService::QueryService(Engine& engine, QueryServiceConfig cfg)
+    : engine_(engine), cfg_(cfg) {
+  slots_.reserve(kMaxServePrograms);
+  for (std::size_t i = 0; i < kMaxServePrograms; ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+QueryService::~QueryService() { stop(); }
+
+void QueryService::serve(ProgramId p, ViewRole role) {
+  REMO_CHECK(p < engine_.num_programs());
+  Slot& s = *slots_[p];
+  {
+    std::lock_guard guard(refresh_mutex_);
+    s.role = role;
+  }
+  publish(p);
+  s.active.store(true, std::memory_order_release);
+}
+
+void QueryService::start() {
+  if (cfg_.refresh_period_ms == 0 || refresher_.joinable()) return;
+  {
+    std::lock_guard guard(stop_mutex_);
+    stopping_ = false;
+  }
+  refresher_ = std::thread([this] { refresher_main(); });
+}
+
+void QueryService::stop() {
+  {
+    std::lock_guard guard(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (refresher_.joinable()) refresher_.join();
+}
+
+void QueryService::refresher_main() {
+  for (;;) {
+    {
+      std::unique_lock guard(stop_mutex_);
+      stop_cv_.wait_for(guard, std::chrono::milliseconds(cfg_.refresh_period_ms),
+                        [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const ProgramId p = static_cast<ProgramId>(i);
+      if (!slots_[i]->active.load(std::memory_order_acquire)) continue;
+      if (cfg_.repair_on_refresh && engine_.program(p).supports_deletes())
+        engine_.repair(p);
+      publish(p);
+    }
+  }
+}
+
+void QueryService::refresh(ProgramId p) {
+  REMO_CHECK(p < engine_.num_programs());
+  publish(p);
+}
+
+void QueryService::refresh_all() {
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i]->active.load(std::memory_order_acquire))
+      publish(static_cast<ProgramId>(i));
+}
+
+void QueryService::publish(ProgramId p) {
+  std::lock_guard guard(refresh_mutex_);
+  Slot& s = *slots_[p];
+  // Watermark before the cut: every event counted here is either inside
+  // the cut or ordered before it, so "lag = ingested_now - watermark" never
+  // under-reports what a view might be missing.
+  const obs::GaugeSample g = engine_.sample_gauges();
+  Snapshot snap = engine_.collect_versioned(p);
+  auto view = std::make_shared<StateView>(
+      std::move(snap), next_version_.fetch_add(1, std::memory_order_relaxed),
+      g.events_ingested, now_ns());
+  if (s.role == ViewRole::kDegree && cfg_.top_k > 0) {
+    auto& top = view->top_;
+    top.assign(view->snap_.begin(), view->snap_.end());
+    const std::size_t k = std::min(cfg_.top_k, top.size());
+    std::partial_sort(top.begin(), top.begin() + k, top.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.second != b.second) return a.second > b.second;
+                        return a.first < b.first;
+                      });
+    top.resize(k);
+  }
+  {
+    std::lock_guard view_guard(s.mu);
+    s.view = std::move(view);
+  }
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const StateView> QueryService::pin(ProgramId p) const {
+  const Slot& s = *slots_[p];
+  REMO_CHECK_MSG(s.active.load(std::memory_order_acquire),
+                 "query on a program not registered via serve()");
+  std::lock_guard guard(s.mu);
+  return s.view;
+}
+
+std::shared_ptr<const StateView> QueryService::view(ProgramId p) const {
+  return pin(p);
+}
+
+StateWord QueryService::state(ProgramId p, VertexId v) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return pin(p)->at(v);
+}
+
+bool QueryService::reachable(ProgramId p, VertexId v) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  const auto view = pin(p);
+  return view->at(v) != view->snapshot().identity();
+}
+
+StateWord QueryService::component_of(ProgramId p, VertexId v) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return pin(p)->at(v);
+}
+
+bool QueryService::connected(ProgramId p, VertexId u, VertexId v) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  const auto view = pin(p);
+  const StateWord lu = view->at(u);
+  return lu != view->snapshot().identity() && lu == view->at(v);
+}
+
+std::vector<std::pair<VertexId, StateWord>> QueryService::top_k_degree(
+    ProgramId p, std::size_t k) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  const auto view = pin(p);
+  const auto& top = view->top();
+  const std::size_t n = std::min(k, top.size());
+  return {top.begin(), top.begin() + n};
+}
+
+ServeStats QueryService::stats() const {
+  ServeStats st;
+  st.queries_served = queries_served_.load(std::memory_order_relaxed);
+  st.refreshes = refreshes_.load(std::memory_order_relaxed);
+  std::uint64_t oldest_wm = ~0ull, oldest_pub = ~0ull;
+  for (const auto& slot : slots_) {
+    if (!slot->active.load(std::memory_order_acquire)) continue;
+    ++st.served_programs;
+    std::lock_guard guard(slot->mu);
+    oldest_wm = std::min(oldest_wm, slot->view->watermark());
+    oldest_pub = std::min(oldest_pub, slot->view->publish_ns());
+  }
+  if (st.served_programs > 0) {
+    const obs::GaugeSample g = engine_.sample_gauges();
+    st.read_epoch_lag_events =
+        g.events_ingested > oldest_wm ? g.events_ingested - oldest_wm : 0;
+    const std::uint64_t now = now_ns();
+    st.view_age_ns = now > oldest_pub ? now - oldest_pub : 0;
+  }
+  return st;
+}
+
+}  // namespace remo::serve

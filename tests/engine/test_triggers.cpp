@@ -126,5 +126,72 @@ TEST(Triggers, WhenAnyFiresAtMostOncePerVertex) {
   EXPECT_EQ(fired.size(), engine.total_stored_vertices());
 }
 
+TEST(Triggers, VertexTriggerDoesNotRefireAcrossDeleteReAdd) {
+  // Pins the delete-era contract documented in core/query.hpp: a vertex
+  // trigger is retired before its action runs, so fire-exactly-once holds
+  // even when repair regresses the vertex and a later re-add makes the
+  // predicate true a second time.
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(
+      0, DynamicBfs::Options{.support_deletes = true});
+  engine.inject_init(id, 0);
+
+  std::atomic<int> fires{0};
+  engine.when(id, 2, [](StateWord lvl) { return lvl != kInfiniteState; },
+              [&](VertexId, StateWord) { fires.fetch_add(1); });
+
+  // Chain 0-1-2: vertex 2 becomes reachable (level 3), fires once.
+  engine.inject_edge({0, 1, 1, EdgeOp::kAdd});
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});
+  engine.drain();
+  ASSERT_EQ(engine.state_of(id, 2), 3u);
+  EXPECT_EQ(fires.load(), 1);
+
+  // Cut 1-2 and repair: vertex 2 regresses to unreachable.
+  engine.inject_edge({1, 2, 1, EdgeOp::kDelete});
+  engine.drain();
+  engine.repair(id);
+  ASSERT_EQ(engine.state_of(id, 2), kInfiniteState);
+
+  // Re-add: the predicate crosses upward again, but the trigger retired at
+  // its first firing — the count must stay 1.
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});
+  engine.drain();
+  ASSERT_EQ(engine.state_of(id, 2), 3u);
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST(Triggers, WhenAnyMayRefirePerVertexUnderDeleteReAdd) {
+  // Companion pin: when_any's "at most once per vertex" only holds in the
+  // add-only regime. Delete-era repair regresses the vertex below the
+  // predicate; the re-add is a fresh upward crossing and fires again
+  // (callbacks that need at-most-once must dedupe, see core/query.hpp).
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(
+      0, DynamicBfs::Options{.support_deletes = true});
+  engine.inject_init(id, 0);
+
+  std::atomic<int> fires_for_2{0};
+  engine.when_any(id, [](StateWord lvl) { return lvl != kInfiniteState; },
+                  [&](VertexId v, StateWord) {
+                    if (v == 2) fires_for_2.fetch_add(1);
+                  });
+
+  engine.inject_edge({0, 1, 1, EdgeOp::kAdd});
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});
+  engine.drain();
+  EXPECT_EQ(fires_for_2.load(), 1);
+
+  engine.inject_edge({1, 2, 1, EdgeOp::kDelete});
+  engine.drain();
+  engine.repair(id);
+  ASSERT_EQ(engine.state_of(id, 2), kInfiniteState);
+
+  engine.inject_edge({1, 2, 1, EdgeOp::kAdd});
+  engine.drain();
+  ASSERT_EQ(engine.state_of(id, 2), 3u);
+  EXPECT_EQ(fires_for_2.load(), 2);
+}
+
 }  // namespace
 }  // namespace remo::test

@@ -1,0 +1,110 @@
+// ConflictPartitioner unit suite: disjointness within a wave, per-key order
+// across waves, canonical-pair keying, and the occupancy stats the WriteGate
+// fallback decision reads (docs/SERVING.md "the write side").
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(ConflictPartitioner, EmptyBatch) {
+  const WavePlan plan = ConflictPartitioner::plan_keys({});
+  EXPECT_EQ(plan.num_waves(), 0u);
+  EXPECT_TRUE(plan.order.empty());
+  EXPECT_EQ(plan.mean_occupancy(), 0.0);
+}
+
+TEST(ConflictPartitioner, DistinctKeysFormOneWave) {
+  const WavePlan plan = ConflictPartitioner::plan_keys({10, 20, 30, 40});
+  ASSERT_EQ(plan.num_waves(), 1u);
+  EXPECT_EQ(plan.wave_size(0), 4u);
+  // Input order preserved inside the wave.
+  EXPECT_EQ(plan.order, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.mean_occupancy(), 4.0);
+}
+
+TEST(ConflictPartitioner, IdenticalKeysFullySerialise) {
+  const WavePlan plan = ConflictPartitioner::plan_keys({7, 7, 7, 7, 7});
+  ASSERT_EQ(plan.num_waves(), 5u);
+  for (std::size_t w = 0; w < 5; ++w) {
+    EXPECT_EQ(plan.wave_size(w), 1u);
+    // Wave w holds exactly the w-th occurrence: submission order survives.
+    EXPECT_EQ(plan.order[plan.wave_begin[w]], w);
+  }
+  EXPECT_EQ(plan.mean_occupancy(), 1.0);
+}
+
+TEST(ConflictPartitioner, KnownMixedBatch) {
+  // keys: a a b c  ->  wave0 = {0,2,3}, wave1 = {1}
+  const WavePlan plan = ConflictPartitioner::plan_keys({1, 1, 2, 3});
+  ASSERT_EQ(plan.num_waves(), 2u);
+  EXPECT_EQ(plan.wave_size(0), 3u);
+  EXPECT_EQ(plan.wave_size(1), 1u);
+  EXPECT_EQ(plan.order, (std::vector<std::uint32_t>{0, 2, 3, 1}));
+  EXPECT_EQ(plan.max_wave_size(), 3u);
+  EXPECT_EQ(plan.mean_occupancy(), 2.0);
+}
+
+TEST(ConflictPartitioner, RandomBatchInvariants) {
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.bounded(40));
+  const WavePlan plan = ConflictPartitioner::plan_keys(keys);
+
+  // `order` is a permutation of the batch.
+  std::vector<bool> seen(keys.size(), false);
+  ASSERT_EQ(plan.order.size(), keys.size());
+  for (const std::uint32_t i : plan.order) {
+    ASSERT_LT(i, keys.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+
+  std::vector<std::uint32_t> wave_of(keys.size());
+  for (std::size_t w = 0; w < plan.num_waves(); ++w) {
+    // Within a wave every key is distinct (disjointness detection).
+    std::set<std::uint64_t> wave_keys;
+    for (std::size_t i = plan.wave_begin[w]; i < plan.wave_begin[w + 1]; ++i) {
+      wave_of[plan.order[i]] = static_cast<std::uint32_t>(w);
+      EXPECT_TRUE(wave_keys.insert(keys[plan.order[i]]).second)
+          << "duplicate key in wave " << w;
+    }
+  }
+  // Same-key events occupy strictly increasing waves in input order.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      if (keys[i] == keys[j]) {
+        EXPECT_LT(wave_of[i], wave_of[j]);
+      }
+    }
+  }
+}
+
+TEST(ConflictPartitioner, ConflictVertexCanonicalisesUndirectedPairs) {
+  const EdgeEvent uv{3, 9, 1, EdgeOp::kAdd};
+  const EdgeEvent vu{9, 3, 1, EdgeOp::kDelete};
+  EXPECT_EQ(conflict_vertex(uv, /*undirected=*/true), 3u);
+  EXPECT_EQ(conflict_vertex(vu, /*undirected=*/true), 3u);
+  // Directed engines route by the literal source.
+  EXPECT_EQ(conflict_vertex(uv, /*undirected=*/false), 3u);
+  EXPECT_EQ(conflict_vertex(vu, /*undirected=*/false), 9u);
+}
+
+TEST(ConflictPartitioner, PlanOverEventsKeysByCanonicalVertex) {
+  // (1,5) and (5,1) conflict; (2,6) is independent of both.
+  const std::vector<EdgeEvent> batch = {{1, 5, 1, EdgeOp::kAdd},
+                                        {5, 1, 1, EdgeOp::kDelete},
+                                        {2, 6, 1, EdgeOp::kAdd}};
+  const WavePlan plan = ConflictPartitioner::plan(batch, /*undirected=*/true);
+  ASSERT_EQ(plan.num_waves(), 2u);
+  EXPECT_EQ(plan.wave_size(0), 2u);  // add(1,5) + add(2,6)
+  EXPECT_EQ(plan.wave_size(1), 1u);  // delete(5,1) after its pair's add
+  EXPECT_EQ(plan.order[plan.wave_begin[1]], 1u);
+}
+
+}  // namespace
+}  // namespace remo::test

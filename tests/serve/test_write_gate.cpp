@@ -1,0 +1,189 @@
+// WriteGate: conflict-scheduled admission must be observationally
+// equivalent to serial in-order injection (docs/SERVING.md soundness
+// argument), including under mixed add/delete churn, concurrent
+// submitters, and the serial-fallback path for conflict-dominated batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+/// Deterministic mixed add/delete churn over `num_vertices` vertices. A
+/// never-deleted backbone chain 0-1-...-(backbone-1) keeps the BFS source
+/// connected; beyond it, adds pick a pair not currently live and deletes
+/// pick a live non-backbone pair — so per-pair histories alternate
+/// add/delete and the final topology is well defined.
+struct Churn {
+  std::vector<EdgeEvent> events;
+  EdgeList final_edges;  // live pairs after the whole history
+};
+
+Churn make_churn(std::uint64_t seed, VertexId num_vertices, std::size_t n,
+                 VertexId backbone = 8) {
+  Churn out;
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> live;
+  auto key = [](VertexId a, VertexId b) {
+    const VertexId lo = a < b ? a : b;
+    const VertexId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  };
+  RobinHoodMap<std::uint64_t, std::uint8_t> is_live;
+  for (VertexId v = 0; v + 1 < backbone; ++v) {
+    out.events.push_back({v, v + 1, 1, EdgeOp::kAdd});
+    out.final_edges.push_back({v, v + 1, 1});
+  }
+  while (out.events.size() < n) {
+    if (!live.empty() && rng.bounded(4) == 0) {
+      const std::size_t i = rng.bounded(live.size());
+      const auto [u, v] = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      is_live.insert_or_assign(key(u, v), 0);
+      out.events.push_back({u, v, 1, EdgeOp::kDelete});
+    } else {
+      const VertexId u = static_cast<VertexId>(rng.bounded(num_vertices));
+      const VertexId v = static_cast<VertexId>(rng.bounded(num_vertices));
+      if (u == v || u < backbone || v < backbone) continue;
+      std::uint8_t& flag = is_live.get_or_insert(key(u, v));
+      if (flag) continue;
+      flag = 1;
+      live.push_back({u, v});
+      out.events.push_back({u, v, 1, EdgeOp::kAdd});
+    }
+  }
+  for (const auto& [u, v] : live) out.final_edges.push_back({u, v, 1});
+  return out;
+}
+
+TEST(WriteGate, ChurnAdmissionMatchesConvergedOracle) {
+  const Churn churn = make_churn(/*seed=*/41, /*num_vertices=*/48, /*n=*/600);
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(
+      0, DynamicBfs::Options{.support_deletes = true});
+  engine.inject_init(id, 0);
+
+  serve::WriteGate gate(engine, {.batch_limit = 64, .dispatch_threads = 3});
+  for (const EdgeEvent& e : churn.events) gate.submit(e);
+  gate.flush();
+  engine.drain();
+  engine.repair(id);
+
+  const CsrGraph g = undirected_csr(churn.final_edges);
+  expect_matches_oracle(engine, id, g, static_bfs(g, g.dense_of(0)));
+
+  const serve::WriteGateStats st = gate.stats();
+  EXPECT_EQ(st.events_submitted, churn.events.size());
+  EXPECT_EQ(st.events_dispatched, churn.events.size());
+  EXPECT_GE(st.batches, churn.events.size() / 64);
+}
+
+TEST(WriteGate, ConcurrentSubmittersConverge) {
+  // Two application threads pushing disjoint vertex ranges through one
+  // gate; add-only, so DynamicCc applies and the union graph's union-find
+  // labelling is the oracle.
+  const EdgeList lo =
+      generate_erdos_renyi({.num_vertices = 64, .num_edges = 220, .seed = 5});
+  EdgeList hi =
+      generate_erdos_renyi({.num_vertices = 64, .num_edges = 220, .seed = 6});
+  for (Edge& e : hi) {
+    e.src += 100;
+    e.dst += 100;
+  }
+
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+  serve::WriteGate gate(engine, {.batch_limit = 32, .dispatch_threads = 2});
+
+  auto pusher = [&gate](const EdgeList& edges) {
+    std::vector<EdgeEvent> chunk;
+    for (const Edge& e : edges) {
+      chunk.push_back({e.src, e.dst, e.weight, EdgeOp::kAdd});
+      if (chunk.size() == 16) {
+        gate.submit_batch(chunk);
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) gate.submit_batch(chunk);
+  };
+  std::thread t1(pusher, std::cref(lo));
+  std::thread t2(pusher, std::cref(hi));
+  t1.join();
+  t2.join();
+  gate.flush();
+  engine.drain();
+
+  EdgeList all = lo;
+  all.insert(all.end(), hi.begin(), hi.end());
+  const CsrGraph g = undirected_csr(all);
+  expect_matches_oracle(engine, id, g, static_cc_union_find(g));
+  EXPECT_EQ(gate.stats().events_dispatched, all.size());
+}
+
+TEST(WriteGate, HotPairBatchFallsBackToSerial) {
+  // Every event in the batch conflicts on one canonical vertex: mean
+  // occupancy is ~1, so the gate must skip wave dispatch and inject
+  // serially in submission order — and the alternating add/delete history
+  // must still land on the correct final state.
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(
+      0, DynamicBfs::Options{.support_deletes = true});
+  engine.inject_init(id, 0);
+
+  serve::WriteGate gate(engine, {.batch_limit = 32, .dispatch_threads = 3});
+  gate.submit({0, 1, 1, EdgeOp::kAdd});
+  // 32 further events, all on pair (1,2), ending live (odd count).
+  for (int i = 0; i < 33; ++i)
+    gate.submit({1, 2, 1, i % 2 == 0 ? EdgeOp::kAdd : EdgeOp::kDelete});
+  gate.flush();
+  engine.drain();
+  engine.repair(id);
+
+  EXPECT_EQ(engine.state_of(id, 2), 3u);
+  const serve::WriteGateStats st = gate.stats();
+  EXPECT_GE(st.serial_fallback_batches, 1u);
+  EXPECT_EQ(st.events_dispatched, 34u);
+}
+
+TEST(WriteGate, DestructorFlushesPending) {
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, bfs] = engine.attach_make<DynamicBfs>(0);
+  engine.inject_init(id, 0);
+  {
+    serve::WriteGate gate(engine);  // default batch_limit far above 2
+    gate.submit({0, 1, 1, EdgeOp::kAdd});
+    gate.submit({1, 2, 1, EdgeOp::kAdd});
+    EXPECT_EQ(gate.stats().events_dispatched, 0u);
+  }  // destructor flushes
+  engine.drain();
+  EXPECT_EQ(engine.state_of(id, 2), 3u);
+}
+
+TEST(WriteGate, WaveStatsReportOccupancy) {
+  // 256 events over 128 distinct pairs with disjoint canonical sources:
+  // wide waves, no fallback, occupancy well above the serial floor.
+  Engine engine(EngineConfig{.num_ranks = 2});
+  auto [id, cc] = engine.attach_make<DynamicCc>();
+  serve::WriteGate gate(engine, {.batch_limit = 128, .dispatch_threads = 2});
+  for (VertexId u = 0; u < 128; ++u) {
+    gate.submit({2 * u, 2 * u + 1, 1, EdgeOp::kAdd});
+    gate.submit({2 * u + 1, 2 * u, 1, EdgeOp::kAdd});  // same pair, wave 2
+  }
+  gate.flush();
+  engine.drain();
+
+  const serve::WriteGateStats st = gate.stats();
+  EXPECT_EQ(st.serial_fallback_batches, 0u);
+  EXPECT_GE(st.waves, 2u);
+  EXPECT_GT(st.parallel_waves, 0u);
+  EXPECT_GE(st.mean_wave_occupancy, 2.0);
+  EXPECT_GE(st.max_wave_size, 64u);
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -5,6 +5,8 @@
 //   remo ingest   --graph graph.bin [--ranks 4] [--streams 4]
 //                 [--algo none|bfs|sssp|cc|st|degree] [--source V]
 //                 [--weights MAX] [--snapshot out.txt] [--safra]
+//   remo serve    --graph graph.bin [--queries N] [--query-threads T]
+//                 [--refresh-ms MS] [--gate]
 //
 // Files ending in .txt use the text edge format; everything else the
 // packed binary format (src u64, dst u64, weight u32).
@@ -79,12 +81,17 @@ int usage() {
                "                [--lineage] [--lineage-out FILE] [--lineage-sample SHIFT]\n"
                "                [--watch] [--metrics-out FILE] [--metrics-period MS]\n"
                "                [--metrics-format jsonl|prom] [--watchdog]\n"
+               "  remo serve    --graph FILE [--ranks N] [--streams N] [--source V]\n"
+               "                [--queries N] [--query-threads T] [--refresh-ms MS]\n"
+               "                [--top-k K] [--safra] [--seed S]\n"
+               "                [--gate] [--gate-batch N] [--gate-threads T]\n"
                "  remo trace-analyze --lineage FILE [--top K] [--min-descendants N]\n"
                "  remo fuzz       [--seeds N] [--seed-base S] [--vertices N]\n"
                "                  [--events N] [--deletes PERMILLE] [--max-weight W]\n"
                "                  [--out-dir DIR] [--keep-going] [--no-shrink]\n"
-               "                  [--shrink-runs N]\n"
+               "                  [--shrink-runs N] [--query-observer]\n"
                "  remo fuzz-repro --file FILE [--shrink] [--out FILE]\n"
+               "                  [--query-observer]\n"
                "\n"
                "differential fuzzing (docs/TESTING.md):\n"
                "  fuzz               run N seeded cases across the algorithm x\n"
@@ -95,6 +102,21 @@ int usage() {
                "  fuzz-repro         replay one repro file byte-for-byte; with\n"
                "                     --shrink, minimise it first and write the\n"
                "                     result to --out (default FILE.min)\n"
+               "\n"
+               "query serving (docs/SERVING.md):\n"
+               "  serve              ingest FILE live while T reader threads issue\n"
+               "                     N point queries (distance, component, s-t\n"
+               "                     reachability, top-k degree) against\n"
+               "                     epoch-consistent views; prints query p50/p99\n"
+               "                     and the sustained update throughput\n"
+               "  --refresh-ms MS    view republish period (default 50)\n"
+               "  --gate             admit updates through the conflict-scheduled\n"
+               "                     WriteGate (parallel injection of\n"
+               "                     disjoint-target waves) instead of streams\n"
+               "  --query-observer   (fuzz / fuzz-repro) run a query-issuing\n"
+               "                     observer against every case while it ingests —\n"
+               "                     adds serving-plane interleavings; verdicts are\n"
+               "                     unchanged (docs/TESTING.md)\n"
                "\n"
                "observability (docs/OBSERVABILITY.md):\n"
                "  --stats            print counters, latency percentiles, phase times\n"
@@ -389,6 +411,133 @@ int cmd_ingest(const Args& a) {
   return 0;
 }
 
+// --- Query serving (docs/SERVING.md) ---------------------------------------
+
+int cmd_serve(const Args& a) {
+  const std::string path = a.str("graph");
+  if (path.empty()) return usage();
+  const EdgeList edges = load(path);
+
+  EngineConfig cfg;
+  cfg.num_ranks = static_cast<RankId>(a.num("ranks", 4));
+  if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
+  Engine engine(cfg);
+
+  const VertexId source = a.num("source", edges.empty() ? 0 : edges.front().src);
+  auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(source);
+  auto [cc_id, cc] = engine.attach_make<DynamicCc>();
+  auto [deg_id, deg] = engine.attach_make<DegreeTracker>();
+  (void)bfs; (void)cc; (void)deg;
+  engine.inject_init(bfs_id, source);
+
+  serve::QueryServiceConfig scfg;
+  scfg.refresh_period_ms =
+      static_cast<std::uint32_t>(a.num("refresh-ms", 50));
+  scfg.top_k = a.num("top-k", 16);
+  serve::QueryService qs(engine, scfg);
+  qs.serve(bfs_id, serve::ViewRole::kDistance);
+  qs.serve(cc_id, serve::ViewRole::kComponent);
+  qs.serve(deg_id, serve::ViewRole::kDegree);
+  qs.start();
+
+  VertexId max_vertex = 1;
+  for (const Edge& e : edges) max_vertex = std::max({max_vertex, e.src, e.dst});
+  const std::uint64_t target = a.num("queries", 100000);
+  const std::size_t readers = std::max<std::uint64_t>(1, a.num("query-threads", 2));
+  const std::uint64_t seed = a.num("seed", 7);
+
+  // Readers claim query slots from a shared counter and answer them from
+  // pinned views; each owns its (single-writer) latency histogram.
+  std::atomic<std::uint64_t> issued{0};
+  std::vector<obs::LatencyHistogram> hists(readers);
+  std::vector<std::thread> reader_threads;
+  const auto now_ns = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  for (std::size_t t = 0; t < readers; ++t) {
+    reader_threads.emplace_back([&, t] {
+      Xoshiro256 rng(seed ^ (0x5bf0'3635'0ce1'0ae5ULL * (t + 1)));
+      while (issued.fetch_add(1, std::memory_order_relaxed) < target) {
+        const VertexId u = static_cast<VertexId>(rng.bounded(max_vertex + 1));
+        const VertexId v = static_cast<VertexId>(rng.bounded(max_vertex + 1));
+        const std::uint64_t kind = rng.bounded(100);
+        const std::uint64_t t0 = now_ns();
+        if (kind < 40)
+          (void)qs.distance(bfs_id, u);
+        else if (kind < 60)
+          (void)qs.component_of(cc_id, u);
+        else if (kind < 80)
+          (void)qs.connected(cc_id, u, v);
+        else if (kind < 90)
+          (void)qs.reachable(bfs_id, u);
+        else
+          (void)qs.top_k_degree(deg_id, 8);
+        hists[t].record(now_ns() - t0);
+      }
+    });
+  }
+
+  // Write side: classic pull streams, or conflict-scheduled gate admission.
+  IngestStats stats;
+  if (a.flag("gate")) {
+    serve::WriteGateConfig gcfg;
+    gcfg.batch_limit = a.num("gate-batch", 1024);
+    gcfg.dispatch_threads = std::max<std::uint64_t>(1, a.num("gate-threads", 2));
+    serve::WriteGate gate(engine, gcfg);
+    StreamOptions opts;
+    opts.seed = seed;
+    const StreamSet streams = make_streams(edges, 1, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    gate.submit_batch(streams.stream(0).events());
+    gate.flush();
+    engine.drain();
+    stats.events = streams.total_events();
+    stats.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    stats.events_per_second =
+        stats.seconds > 0 ? static_cast<double>(stats.events) / stats.seconds : 0;
+    const serve::WriteGateStats gs = gate.stats();
+    std::printf(
+        "gate: %s batches, %s waves (%s parallel, %s fallback), occupancy "
+        "%.1f events/wave, max wave %s\n",
+        with_commas(gs.batches).c_str(), with_commas(gs.waves).c_str(),
+        with_commas(gs.parallel_waves).c_str(),
+        with_commas(gs.serial_fallback_batches).c_str(), gs.mean_wave_occupancy,
+        with_commas(gs.max_wave_size).c_str());
+  } else {
+    StreamOptions opts;
+    opts.seed = seed;
+    const std::size_t n_streams = a.num("streams", cfg.num_ranks);
+    const StreamSet streams = make_streams(edges, n_streams, opts);
+    stats = engine.ingest(streams);
+  }
+
+  for (auto& th : reader_threads) th.join();
+  qs.refresh_all();  // final views reflect the fully-converged state
+  const serve::ServeStats ss = qs.stats();
+  qs.stop();
+
+  obs::HistogramSnapshot merged;
+  for (const auto& h : hists) merged.merge(h.snapshot());
+  std::printf("ingested %s events in %.3f s — %s sustained\n",
+              with_commas(stats.events).c_str(), stats.seconds,
+              remo::strfmt("%.2fM events/s", stats.events_per_second / 1e6).c_str());
+  std::printf("queries: %s served by %zu thread(s) — p50 %.1f us, p99 %.1f us\n",
+              with_commas(ss.queries_served).c_str(), readers,
+              static_cast<double>(merged.p50()) / 1e3,
+              static_cast<double>(merged.p99()) / 1e3);
+  std::printf("views: %s refreshes, read-epoch lag %s events, oldest view "
+              "%.1f ms\n",
+              with_commas(ss.refreshes).c_str(),
+              with_commas(ss.read_epoch_lag_events).c_str(),
+              static_cast<double>(ss.view_age_ns) / 1e6);
+  return 0;
+}
+
 int cmd_trace_analyze(const Args& a) {
   const std::string path = a.str("lineage");
   if (path.empty()) return usage();
@@ -478,6 +627,7 @@ int cmd_fuzz(const Args& a) {
   opts.gen.num_events = static_cast<std::uint32_t>(a.num("events", 600));
   opts.gen.delete_permille = static_cast<std::uint32_t>(a.num("deletes", 250));
   opts.gen.max_weight = static_cast<Weight>(a.num("max-weight", 8));
+  opts.run.query_observer = a.flag("query-observer");
   const bool keep_going = a.flag("keep-going");
   const bool do_shrink = !a.flag("no-shrink");
   const std::size_t shrink_runs = a.num("shrink-runs", 400);
@@ -531,7 +681,9 @@ int cmd_fuzz_repro(const Args& a) {
     return 2;
   }
   std::printf("replaying [%s]\n", fuzz::describe(fc).c_str());
-  const fuzz::RunResult rr = fuzz::run_case(fc);
+  fuzz::RunOptions run;
+  run.query_observer = a.flag("query-observer");
+  const fuzz::RunResult rr = fuzz::run_case(fc, run);
   if (rr.ok()) {
     std::printf("no divergence: %zu vertices checked against the oracle\n",
                 rr.vertices_checked);
@@ -563,6 +715,7 @@ int main(int argc, char** argv) {
   if (a.command == "generate") return cmd_generate(a);
   if (a.command == "stats") return cmd_stats(a);
   if (a.command == "ingest") return cmd_ingest(a);
+  if (a.command == "serve") return cmd_serve(a);
   if (a.command == "trace-analyze") return cmd_trace_analyze(a);
   if (a.command == "fuzz") return cmd_fuzz(a);
   if (a.command == "fuzz-repro") return cmd_fuzz_repro(a);
