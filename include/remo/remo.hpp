@@ -21,6 +21,7 @@
 #include "obs/lineage.hpp"
 #include "obs/obs_config.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/span.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
@@ -59,6 +60,7 @@
 // Query serving plane (epoch-consistent reads, conflict-scheduled writes)
 #include "runtime/conflict.hpp"
 #include "serve/query_service.hpp"
+#include "serve/serving_gauges.hpp"
 #include "serve/write_gate.hpp"
 
 // Differential fuzzing & deterministic replay

@@ -439,7 +439,12 @@ Snapshot Engine::collect_aux_quiescent(ProgramId p) {
 Snapshot Engine::collect_versioned(ProgramId p) {
   REMO_CHECK(p < programs_.size());
   std::lock_guard guard(op_mutex_);
-  const std::uint64_t t0 = main_trace_ ? obs_now() : 0;
+  const std::uint64_t t0 = obs_now();
+  // Watermark before the cut: every event counted here registered its
+  // in-flight work first (release/acquire pairing, see sample_gauges), so
+  // it is provably inside the old epoch this cut is about to drain.
+  const std::uint64_t cut_watermark =
+      epoch_drain_hook_ ? ingested_watermark() : 0;
 
   versioned_active_.store(true, std::memory_order_release);
   const std::uint16_t old_epoch = epoch_.fetch_add(1, std::memory_order_acq_rel);
@@ -456,7 +461,10 @@ Snapshot Engine::collect_versioned(ProgramId p) {
     }
   }
   while (comm_.in_flight(old_epoch & 1) != 0) std::this_thread::sleep_for(kPollInterval);
-  if (main_trace_) main_trace_->emit("epoch_drain", t0, obs_now() - t0);
+  const std::uint64_t drained_ns = obs_now();
+  if (main_trace_) main_trace_->emit("epoch_drain", t0, drained_ns - t0);
+  if (epoch_drain_hook_)
+    epoch_drain_hook_(EpochDrainInfo{new_epoch, cut_watermark, t0, drained_ns});
 
   // The cut is final: S_prev (or the shared state for unsplit vertices) is
   // the global algorithm state at the discretisation point, while new-epoch
@@ -625,15 +633,29 @@ std::uint64_t Engine::obs_now() const noexcept {
   return obs::monotonic_ns() - trace_base_ns_;
 }
 
-bool Engine::write_trace(const std::string& path) const {
+std::uint64_t Engine::ingested_watermark() const noexcept {
+  std::uint64_t n = injected_events_.load(std::memory_order_acquire);
+  for (const auto& rt : ranks_)
+    n += rt->gauges.events_ingested.load(std::memory_order_acquire);
+  return n;
+}
+
+void Engine::set_epoch_drain_hook(EpochDrainHook hook) {
+  std::lock_guard guard(op_mutex_);
+  epoch_drain_hook_ = std::move(hook);
+}
+
+bool Engine::write_trace(const std::string& path,
+                         std::vector<obs::TraceTrack> extra_tracks) const {
   if (!tracing_enabled()) return false;
   std::vector<obs::TraceTrack> tracks;
-  tracks.reserve(ranks_.size() + 1);
+  tracks.reserve(ranks_.size() + 1 + extra_tracks.size());
   for (RankId r = 0; r < cfg_.num_ranks; ++r)
     tracks.push_back(obs::TraceTrack{strfmt("rank %u", r), r,
                                      ranks_[r]->trace->events()});
   tracks.push_back(
       obs::TraceTrack{"main", cfg_.num_ranks, main_trace_->events()});
+  for (auto& t : extra_tracks) tracks.push_back(std::move(t));
   return obs::write_chrome_trace(path, "remo engine", tracks);
 }
 

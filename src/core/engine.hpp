@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -200,10 +201,12 @@ class Engine {
   bool tracing_enabled() const noexcept;
 
   /// Export the captured trace as chrome://tracing JSON — one track per
-  /// rank plus one for the main thread's control operations. Call at
-  /// quiescence (the ring buffers are single-writer). Returns false when
-  /// tracing is disabled or the file cannot be written.
-  bool write_trace(const std::string& path) const;
+  /// rank plus one for the main thread's control operations, followed by
+  /// any caller-supplied extra tracks (e.g. a SpanRecorder's write-path
+  /// flow slices). Call at quiescence (the ring buffers are single-writer).
+  /// Returns false when tracing is disabled or the file cannot be written.
+  bool write_trace(const std::string& path,
+                   std::vector<obs::TraceTrack> extra_tracks = {}) const;
 
   /// True when causal lineage tracing is active (config flag set).
   bool lineage_enabled() const noexcept;
@@ -240,6 +243,36 @@ class Engine {
     return epoch_.load(std::memory_order_acquire);
   }
 
+  /// Engine-relative monotonic nanoseconds — the time base of every trace
+  /// slice, gauge sample, and write-path span milestone. Public so external
+  /// instrumentation (the serving plane's span stamps) shares the engine's
+  /// clock instead of inventing a second origin.
+  std::uint64_t obs_now() const noexcept;
+
+  /// Total topology events accepted so far: main-thread API injections plus
+  /// per-rank stream pulls (the events_ingested gauge without the rest of a
+  /// sample). Monotone; a thread reading this after its own inject_edge
+  /// calls gets a count covering them, and the count covers any injector
+  /// whose completion happens-before the read.
+  std::uint64_t ingested_watermark() const noexcept;
+
+  /// What collect_versioned reports when an epoch cut finishes draining:
+  /// the watermark every event inside the cut is counted under, plus the
+  /// cut/drain instants (engine clock).
+  struct EpochDrainInfo {
+    std::uint16_t epoch = 0;         ///< the new epoch stamped on the cut
+    std::uint64_t watermark = 0;     ///< ingested watermark at cut start
+    std::uint64_t cut_ns = 0;
+    std::uint64_t drained_ns = 0;
+  };
+  using EpochDrainHook = std::function<void(const EpochDrainInfo&)>;
+
+  /// Install (or clear, with an empty function) the epoch-drain hook. The
+  /// hook runs on the collecting thread while the engine's op lock is held:
+  /// it must be quick and must not call back into engine operations (the
+  /// serving plane's SpanRecorder::on_epoch_drained is the intended use).
+  void set_epoch_drain_hook(EpochDrainHook hook);
+
  private:
   friend class VertexContext;
 
@@ -264,9 +297,6 @@ class Engine {
   /// until every rank has acknowledged via control_acks_.
   void broadcast_control_and_wait(ControlOp op, ProgramId p);
   Snapshot harvest(ProgramId p);
-
-  /// Engine-relative monotonic nanoseconds (trace timestamp base).
-  std::uint64_t obs_now() const noexcept;
 
   EngineConfig cfg_;
   Partitioner part_;
@@ -295,6 +325,11 @@ class Engine {
 
   // Serialises collect/repair/ingest phase transitions.
   mutable std::mutex op_mutex_;
+
+  // Write-path span support: invoked by collect_versioned once the old
+  // epoch's in-flight work hits zero. Guarded by op_mutex_ (both the setter
+  // and the only call site hold it).
+  EpochDrainHook epoch_drain_hook_;
 
   // Current ingestion run bookkeeping (main thread only).
   std::chrono::steady_clock::time_point ingest_start_{};

@@ -27,6 +27,35 @@ Json GaugeSample::to_json(bool include_per_rank) const {
     det["terminated"] = safra_terminated;
   }
   j["termination"] = std::move(det);
+  if (serving.present) {
+    Json s = Json::object();
+    s["queries_served"] = serving.queries_served;
+    s["refreshes"] = serving.refreshes;
+    s["served_programs"] = serving.served_programs;
+    s["read_epoch_lag_events"] = serving.read_epoch_lag_events;
+    s["view_age_ns"] = serving.view_age_ns;
+    if (serving.gate_present) {
+      Json g = Json::object();
+      g["events_submitted"] = serving.gate_events_submitted;
+      g["events_dispatched"] = serving.gate_events_dispatched;
+      g["batches"] = serving.gate_batches;
+      g["waves"] = serving.gate_waves;
+      g["serial_fallback_batches"] = serving.gate_serial_fallback_batches;
+      g["mean_wave_occupancy"] = serving.gate_mean_wave_occupancy;
+      s["write_gate"] = std::move(g);
+    }
+    if (serving.spans_present) {
+      Json sp = Json::object();
+      sp["sampled"] = serving.spans_sampled;
+      sp["completed"] = serving.spans_completed;
+      sp["open"] = serving.spans_open;
+      sp["dropped"] = serving.spans_dropped;
+      sp["freshness_p50_ns"] = serving.freshness_p50_ns;
+      sp["freshness_p99_ns"] = serving.freshness_p99_ns;
+      s["spans"] = std::move(sp);
+    }
+    j["serving"] = std::move(s);
+  }
   if (include_per_rank) {
     Json ranks = Json::array();
     for (std::size_t r = 0; r < per_rank.size(); ++r) {
@@ -146,6 +175,60 @@ std::string GaugeSample::to_prometheus() const {
   for (std::size_t r = 0; r < per_rank.size(); ++r)
     w.labelled("remo_rank_idle", "rank", strfmt("%zu", r),
                per_rank[r].idle ? 1 : 0);
+  if (serving.present) {
+    w.header("remo_serve_queries_total", "Catalog queries answered", "counter");
+    w.value("remo_serve_queries_total", serving.queries_served);
+    w.header("remo_serve_refreshes_total", "Views published (all programs)",
+             "counter");
+    w.value("remo_serve_refreshes_total", serving.refreshes);
+    w.header("remo_serve_programs", "Active serving slots", "gauge");
+    w.value("remo_serve_programs", serving.served_programs);
+    w.header("remo_serve_read_epoch_lag_events",
+             "Accepted events the stalest published view may be missing",
+             "gauge");
+    w.value("remo_serve_read_epoch_lag_events", serving.read_epoch_lag_events);
+    w.header("remo_serve_view_age_seconds",
+             "Age of the oldest active published view", "gauge");
+    w.value("remo_serve_view_age_seconds",
+            static_cast<double>(serving.view_age_ns) / 1e9);
+    if (serving.gate_present) {
+      w.header("remo_gate_events_submitted_total",
+               "Events enqueued at the write gate", "counter");
+      w.value("remo_gate_events_submitted_total", serving.gate_events_submitted);
+      w.header("remo_gate_events_dispatched_total",
+               "Events the gate injected into the engine", "counter");
+      w.value("remo_gate_events_dispatched_total",
+              serving.gate_events_dispatched);
+      w.header("remo_gate_batches_total", "Batches the gate dispatched",
+               "counter");
+      w.value("remo_gate_batches_total", serving.gate_batches);
+      w.header("remo_gate_waves_total", "Conflict-free waves dispatched",
+               "counter");
+      w.value("remo_gate_waves_total", serving.gate_waves);
+      w.header("remo_gate_serial_fallback_batches_total",
+               "Batches injected serially (conflict-dominated)", "counter");
+      w.value("remo_gate_serial_fallback_batches_total",
+              serving.gate_serial_fallback_batches);
+      w.header("remo_gate_mean_wave_occupancy",
+               "Mean events per wave over non-fallback batches", "gauge");
+      w.value("remo_gate_mean_wave_occupancy", serving.gate_mean_wave_occupancy);
+    }
+    if (serving.spans_present) {
+      w.header("remo_spans_completed_total",
+               "Write-path spans closed (batch became readable)", "counter");
+      w.value("remo_spans_completed_total", serving.spans_completed);
+      w.header("remo_spans_open", "Write-path spans still in flight", "gauge");
+      w.value("remo_spans_open", serving.spans_open);
+      w.header("remo_freshness_p50_seconds",
+               "Median write-to-readable freshness", "gauge");
+      w.value("remo_freshness_p50_seconds",
+              static_cast<double>(serving.freshness_p50_ns) / 1e9);
+      w.header("remo_freshness_p99_seconds",
+               "p99 write-to-readable freshness", "gauge");
+      w.value("remo_freshness_p99_seconds",
+              static_cast<double>(serving.freshness_p99_ns) / 1e9);
+    }
+  }
   return w.str();
 }
 

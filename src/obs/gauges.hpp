@@ -94,6 +94,40 @@ struct RankGaugeSample {
   bool idle = false;                    ///< parked right now
 };
 
+/// Serving-plane gauges riding along in a GaugeSample (schema stays
+/// "remo-gauges-1"; the block is emitted only when `present`). Filled by
+/// the serving layer — serve::fill_serving_gauges() — so dashboards fed by
+/// MetricsExporter see the QueryService/WriteGate/span counters without
+/// the obs layer depending on src/serve.
+struct ServingGauges {
+  bool present = false;
+
+  // QueryService (ServeStats).
+  std::uint64_t queries_served = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t served_programs = 0;
+  std::uint64_t read_epoch_lag_events = 0;
+  std::uint64_t view_age_ns = 0;
+
+  // WriteGate (WriteGateStats); gate_present gates emission.
+  bool gate_present = false;
+  std::uint64_t gate_events_submitted = 0;
+  std::uint64_t gate_events_dispatched = 0;
+  std::uint64_t gate_batches = 0;
+  std::uint64_t gate_waves = 0;
+  std::uint64_t gate_serial_fallback_batches = 0;
+  double gate_mean_wave_occupancy = 0.0;
+
+  // Write-path spans (SpanCounts); spans_present gates emission.
+  bool spans_present = false;
+  std::uint64_t spans_sampled = 0;
+  std::uint64_t spans_completed = 0;
+  std::uint64_t spans_open = 0;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t freshness_p50_ns = 0;
+  std::uint64_t freshness_p99_ns = 0;
+};
+
 /// A point-in-time reading of every live gauge (schema "remo-gauges-1").
 struct GaugeSample {
   std::uint64_t sample_ns = 0;  ///< engine-relative monotonic sample time
@@ -120,6 +154,9 @@ struct GaugeSample {
   bool safra_terminated = false;
 
   std::vector<RankGaugeSample> per_rank;
+
+  /// Serving-plane block (absent unless the serving layer filled it).
+  ServingGauges serving;
 
   /// One flight-recorder record (schema "remo-gauges-1"); `dump()` of this
   /// is one JSONL line.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/assert.hpp"
+#include "obs/span.hpp"
 
 namespace remo::serve {
 namespace {
@@ -34,9 +35,18 @@ QueryService::QueryService(Engine& engine, QueryServiceConfig cfg)
   slots_.reserve(kMaxServePrograms);
   for (std::size_t i = 0; i < kMaxServePrograms; ++i)
     slots_.push_back(std::make_unique<Slot>());
+  if (cfg_.spans) {
+    obs::SpanRecorder* rec = cfg_.spans;
+    engine_.set_epoch_drain_hook([rec](const Engine::EpochDrainInfo& info) {
+      rec->on_epoch_drained(info.watermark, info.drained_ns);
+    });
+  }
 }
 
-QueryService::~QueryService() { stop(); }
+QueryService::~QueryService() {
+  stop();
+  if (cfg_.spans) engine_.set_epoch_drain_hook({});
+}
 
 void QueryService::serve(ProgramId p, ViewRole role) {
   REMO_CHECK(p < engine_.num_programs());
@@ -123,6 +133,11 @@ void QueryService::publish(ProgramId p) {
     s.view = std::move(view);
   }
   refreshes_.fetch_add(1, std::memory_order_relaxed);
+  // The view is readable now: complete every span whose admission
+  // watermark it covers (the pre-cut watermark sample above makes
+  // "covers" sound — see the SpanRecorder file comment).
+  if (cfg_.spans)
+    cfg_.spans->on_view_published(g.events_ingested, engine_.obs_now());
 }
 
 std::shared_ptr<const StateView> QueryService::pin(ProgramId p) const {

@@ -32,6 +32,10 @@
 #include "core/engine.hpp"
 #include "core/snapshot.hpp"
 
+namespace remo::obs {
+class SpanRecorder;
+}
+
 namespace remo::serve {
 
 /// How the service interprets a program's state words — which catalog
@@ -95,6 +99,12 @@ struct QueryServiceConfig {
   bool repair_on_refresh = false;
   /// Entries precomputed per kDegree view.
   std::size_t top_k = 16;
+  /// Write-path span recorder (docs/OBSERVABILITY.md §spans). When set,
+  /// the service installs the engine's epoch-drain hook for the recorder
+  /// and notifies it after every view publish, closing write-to-readable
+  /// spans whose admission watermark the view covers. The recorder must
+  /// outlive the service.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 /// Serving counters (docs/OBSERVABILITY.md §serving). Point-in-time; the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/span.hpp"
 
 namespace remo::serve {
 
@@ -37,6 +38,7 @@ WriteGate::~WriteGate() {
 
 void WriteGate::submit(const EdgeEvent& e) {
   std::unique_lock guard(pending_mutex_);
+  if (cfg_.spans && pending_.empty()) pending_oldest_ns_ = engine_.obs_now();
   pending_.push_back(e);
   {
     std::lock_guard stats_guard(stats_mutex_);
@@ -47,6 +49,8 @@ void WriteGate::submit(const EdgeEvent& e) {
 
 void WriteGate::submit_batch(const std::vector<EdgeEvent>& events) {
   std::unique_lock guard(pending_mutex_);
+  if (cfg_.spans && pending_.empty() && !events.empty())
+    pending_oldest_ns_ = engine_.obs_now();
   pending_.insert(pending_.end(), events.begin(), events.end());
   {
     std::lock_guard stats_guard(stats_mutex_);
@@ -79,12 +83,17 @@ std::size_t WriteGate::pump_locked(std::unique_lock<std::mutex>& guard) {
   while (!pending_.empty()) {
     local.clear();
     local.swap(pending_);
+    // Every chunk of this swap inherits the swap's oldest-submit stamp —
+    // later chunks have waited at least that long, so kQueue never
+    // under-reports.
+    const std::uint64_t queued_ns = pending_oldest_ns_;
+    pending_oldest_ns_ = 0;
     guard.unlock();
     for (std::size_t off = 0; off < local.size(); off += cfg_.batch_limit) {
       const std::size_t n = std::min(cfg_.batch_limit, local.size() - off);
       chunk.assign(local.begin() + static_cast<std::ptrdiff_t>(off),
                    local.begin() + static_cast<std::ptrdiff_t>(off + n));
-      dispatch_batch(chunk);
+      dispatch_batch(chunk, queued_ns);
     }
     dispatched += local.size();
     guard.lock();
@@ -94,15 +103,33 @@ std::size_t WriteGate::pump_locked(std::unique_lock<std::mutex>& guard) {
   return dispatched;
 }
 
-void WriteGate::dispatch_batch(const std::vector<EdgeEvent>& batch) {
+void WriteGate::dispatch_batch(const std::vector<EdgeEvent>& batch,
+                               std::uint64_t queued_ns) {
   if (batch.empty()) return;
+  obs::SpanRecorder* rec = cfg_.spans;
+  const std::uint64_t t_begin = rec ? engine_.obs_now() : 0;
+  const obs::TraceId span =
+      rec ? rec->begin_batch(queued_ns ? queued_ns : t_begin, t_begin) : 0;
+
   const WavePlan plan =
       ConflictPartitioner::plan(batch, engine_.config().undirected);
+  std::uint64_t t_plan = t_begin;
+  if (span) {
+    t_plan = engine_.obs_now();
+    rec->stage(span, obs::WriteStage::kPartition, t_plan - t_begin);
+  }
 
   if (plan.mean_occupancy() < cfg_.min_occupancy) {
     // Conflict-dominated batch (e.g. a hot pair's history): wave barriers
     // would serialise it anyway, so skip straight to in-order injection.
     for (const EdgeEvent& e : batch) engine_.inject_edge(e);
+    if (span) {
+      const std::uint64_t t_done = engine_.obs_now();
+      rec->stage(span, obs::WriteStage::kInject, t_done - t_plan);
+      rec->record_admitted(span, engine_.ingested_watermark(), t_done,
+                           batch.size(),
+                           static_cast<std::uint32_t>(plan.num_waves()), true);
+    }
     std::lock_guard stats_guard(stats_mutex_);
     ++stats_.batches;
     ++stats_.serial_fallback_batches;
@@ -110,16 +137,32 @@ void WriteGate::dispatch_batch(const std::vector<EdgeEvent>& batch) {
     return;
   }
 
+  std::uint64_t inject_ns = 0;  // the pumping thread's own injection time
+  std::uint64_t* inj = span ? &inject_ns : nullptr;
   std::uint64_t parallel_waves = 0;
   for (std::size_t w = 0; w < plan.num_waves(); ++w) {
     const std::uint32_t* idx = plan.order.data() + plan.wave_begin[w];
     const std::size_t n = plan.wave_size(w);
     if (n < cfg_.min_wave_parallel || cfg_.dispatch_threads <= 1) {
-      inject_slice(batch, idx, n);
+      inject_slice_timed(batch, idx, n, inj);
     } else {
-      dispatch_wave_parallel(batch, idx, n);
+      dispatch_wave_parallel(batch, idx, n, inj);
       ++parallel_waves;
     }
+  }
+  if (span) {
+    // The wave barrier has completed every worker's injections (their
+    // watermark bumps happen-before this read), so the watermark stamped
+    // here covers the whole batch. Dispatch = orchestration wall time the
+    // pumping thread did NOT spend injecting: fan-out plus barrier waits.
+    const std::uint64_t t_done = engine_.obs_now();
+    const std::uint64_t wall = t_done - t_plan;
+    rec->stage(span, obs::WriteStage::kInject, inject_ns);
+    rec->stage(span, obs::WriteStage::kDispatch,
+               wall > inject_ns ? wall - inject_ns : 0);
+    rec->record_admitted(span, engine_.ingested_watermark(), t_done,
+                         batch.size(),
+                         static_cast<std::uint32_t>(plan.num_waves()), false);
   }
 
   std::lock_guard stats_guard(stats_mutex_);
@@ -138,6 +181,18 @@ void WriteGate::inject_slice(const std::vector<EdgeEvent>& batch,
   for (std::size_t i = 0; i < n; ++i) engine_.inject_edge(batch[idx[i]]);
 }
 
+void WriteGate::inject_slice_timed(const std::vector<EdgeEvent>& batch,
+                                   const std::uint32_t* idx, std::size_t n,
+                                   std::uint64_t* inject_ns) {
+  if (!inject_ns) {
+    inject_slice(batch, idx, n);
+    return;
+  }
+  const std::uint64_t t0 = engine_.obs_now();
+  inject_slice(batch, idx, n);
+  *inject_ns += engine_.obs_now() - t0;
+}
+
 void WriteGate::ensure_workers() {
   if (!workers_.empty()) return;
   const std::size_t helpers = cfg_.dispatch_threads - 1;
@@ -148,7 +203,8 @@ void WriteGate::ensure_workers() {
 }
 
 void WriteGate::dispatch_wave_parallel(const std::vector<EdgeEvent>& batch,
-                                       const std::uint32_t* idx, std::size_t n) {
+                                       const std::uint32_t* idx, std::size_t n,
+                                       std::uint64_t* inject_ns) {
   ensure_workers();
   const std::size_t threads = std::min(cfg_.dispatch_threads, n);
   const std::size_t per = (n + threads - 1) / threads;
@@ -164,7 +220,8 @@ void WriteGate::dispatch_wave_parallel(const std::vector<EdgeEvent>& batch,
     ++wave_generation_;
   }
   work_cv_.notify_all();
-  inject_slice(batch, idx, std::min(per, n));  // this thread takes slice 0
+  // This thread takes slice 0.
+  inject_slice_timed(batch, idx, std::min(per, n), inject_ns);
   // The inter-wave barrier: same-key events live in different waves, so
   // the next wave must not start until every injection of this one is in
   // its destination mailbox (FIFO per rank ⇒ per-pair order preserved).

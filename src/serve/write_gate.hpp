@@ -30,6 +30,10 @@
 #include "gen/stream.hpp"
 #include "runtime/conflict.hpp"
 
+namespace remo::obs {
+class SpanRecorder;
+}
+
 namespace remo::serve {
 
 struct WriteGateConfig {
@@ -48,6 +52,11 @@ struct WriteGateConfig {
   /// Concurrent injector threads per wave (1 = always serial). The pumping
   /// thread is one of them; dispatch_threads-1 workers are spawned lazily.
   std::size_t dispatch_threads = 2;
+  /// Write-path span recorder (docs/OBSERVABILITY.md §spans). When set,
+  /// every dispatched batch gets a TraceId and per-stage timing
+  /// (queue/partition/dispatch/inject), stamped on the engine's clock. The
+  /// recorder must outlive the gate. nullptr = zero instrumentation cost.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct WriteGateStats {
@@ -88,11 +97,18 @@ class WriteGate {
 
  private:
   std::size_t pump_locked(std::unique_lock<std::mutex>& pending_guard);
-  void dispatch_batch(const std::vector<EdgeEvent>& batch);
+  void dispatch_batch(const std::vector<EdgeEvent>& batch,
+                      std::uint64_t queued_ns);
   void dispatch_wave_parallel(const std::vector<EdgeEvent>& batch,
-                              const std::uint32_t* idx, std::size_t n);
+                              const std::uint32_t* idx, std::size_t n,
+                              std::uint64_t* inject_ns);
   void inject_slice(const std::vector<EdgeEvent>& batch,
                     const std::uint32_t* idx, std::size_t n);
+  /// inject_slice, accumulating its wall time into *inject_ns when the
+  /// dispatched batch is span-sampled (inject_ns nonnull).
+  void inject_slice_timed(const std::vector<EdgeEvent>& batch,
+                          const std::uint32_t* idx, std::size_t n,
+                          std::uint64_t* inject_ns);
   void ensure_workers();
   void worker_main(std::size_t worker);
 
@@ -101,6 +117,10 @@ class WriteGate {
 
   std::mutex pending_mutex_;
   std::vector<EdgeEvent> pending_;
+  /// Submit instant of the oldest event in `pending_` (engine clock),
+  /// stamped on the empty->nonempty transition — the span kQueue origin.
+  /// 0 when pending_ is empty or spans are off.
+  std::uint64_t pending_oldest_ns_ = 0;
   bool pump_active_ = false;  // one pump at a time keeps batches in order
   std::condition_variable pump_cv_;
 

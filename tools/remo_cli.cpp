@@ -6,7 +6,7 @@
 //                 [--algo none|bfs|sssp|cc|st|degree] [--source V]
 //                 [--weights MAX] [--snapshot out.txt] [--safra]
 //   remo serve    --graph graph.bin [--queries N] [--query-threads T]
-//                 [--refresh-ms MS] [--gate]
+//                 [--refresh-ms MS] [--gate] [--spans] [--stats-json FILE]
 //
 // Files ending in .txt use the text edge format; everything else the
 // packed binary format (src u64, dst u64, weight u32).
@@ -85,7 +85,13 @@ int usage() {
                "                [--queries N] [--query-threads T] [--refresh-ms MS]\n"
                "                [--top-k K] [--safra] [--seed S]\n"
                "                [--gate] [--gate-batch N] [--gate-threads T]\n"
+               "                [--spans] [--spans-out FILE] [--span-sample SHIFT]\n"
+               "                [--stats-json FILE] [--trace FILE]\n"
+               "                [--metrics-out FILE] [--metrics-period MS]\n"
+               "                [--metrics-format jsonl|prom]\n"
                "  remo trace-analyze --lineage FILE [--top K] [--min-descendants N]\n"
+               "  remo trace-analyze --spans FILE [--tail] [--tail-pct P]\n"
+               "                     [--require-complete]\n"
                "  remo fuzz       [--seeds N] [--seed-base S] [--vertices N]\n"
                "                  [--events N] [--deletes PERMILLE] [--max-weight W]\n"
                "                  [--out-dir DIR] [--keep-going] [--no-shrink]\n"
@@ -113,6 +119,13 @@ int usage() {
                "  --gate             admit updates through the conflict-scheduled\n"
                "                     WriteGate (parallel injection of\n"
                "                     disjoint-target waves) instead of streams\n"
+               "  --spans            trace every admitted batch end-to-end through\n"
+               "                     the write path (needs --gate); prints the\n"
+               "                     write-to-readable freshness p50/p99\n"
+               "  --spans-out FILE   write completed spans + per-stage histograms\n"
+               "                     with exemplars (remo-spans-1 JSON; implies\n"
+               "                     --spans); feed to trace-analyze --spans\n"
+               "  --span-sample N    span every 2^N-th batch (default 0 = all)\n"
                "  --query-observer   (fuzz / fuzz-repro) run a query-issuing\n"
                "                     observer against every case while it ingests —\n"
                "                     adds serving-plane interleavings; verdicts are\n"
@@ -133,6 +146,15 @@ int usage() {
                "                     and the top-K most expensive updates with their\n"
                "                     critical paths; exit 1 when any sampled cause\n"
                "                     spawned fewer than --min-descendants visitors\n"
+               "\n"
+               "write-path spans (docs/OBSERVABILITY.md \"Write-path spans\"):\n"
+               "  trace-analyze --spans FILE\n"
+               "                     read a remo-spans-1 dump; print the freshness\n"
+               "                     percentiles. With --tail, attribute latency at\n"
+               "                     --tail-pct (default 99) across the six write\n"
+               "                     stages and list exemplar trace IDs; with\n"
+               "                     --require-complete, exit 1 if any sampled span\n"
+               "                     never closed\n"
                "\n"
                "message path (DESIGN.md §6):\n"
                "  --batch-size N     per-destination send-buffer batch (default 128)\n"
@@ -418,10 +440,30 @@ int cmd_serve(const Args& a) {
   if (path.empty()) return usage();
   const EdgeList edges = load(path);
 
+  const std::string trace_path = a.str("trace");
+  const std::string spans_out = a.str("spans-out");
+  const bool use_gate = a.flag("gate");
+  bool want_spans = a.flag("spans") || !spans_out.empty();
+  if (want_spans && !use_gate) {
+    std::fprintf(stderr,
+                 "note: --spans traces the WriteGate write path; ignored "
+                 "without --gate\n");
+    want_spans = false;
+  }
+
   EngineConfig cfg;
   cfg.num_ranks = static_cast<RankId>(a.num("ranks", 4));
   if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
+  cfg.obs.trace = !trace_path.empty();
   Engine engine(cfg);
+
+  std::unique_ptr<obs::SpanRecorder> spans;
+  if (want_spans) {
+    obs::SpanRecorderConfig rcfg;
+    rcfg.sample_shift = static_cast<std::uint32_t>(a.num("span-sample", 0));
+    spans = std::make_unique<obs::SpanRecorder>(rcfg);
+  }
+  std::unique_ptr<serve::WriteGate> gate;  // created with the write side
 
   const VertexId source = a.num("source", edges.empty() ? 0 : edges.front().src);
   auto [bfs_id, bfs] = engine.attach_make<DynamicBfs>(source);
@@ -434,11 +476,39 @@ int cmd_serve(const Args& a) {
   scfg.refresh_period_ms =
       static_cast<std::uint32_t>(a.num("refresh-ms", 50));
   scfg.top_k = a.num("top-k", 16);
+  scfg.spans = spans.get();
   serve::QueryService qs(engine, scfg);
   qs.serve(bfs_id, serve::ViewRole::kDistance);
   qs.serve(cc_id, serve::ViewRole::kComponent);
   qs.serve(deg_id, serve::ViewRole::kDegree);
   qs.start();
+
+  // Live telemetry over the whole serving plane: the sampler decorates
+  // engine gauges with serve/gate/span counters (docs/OBSERVABILITY.md).
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (const std::string metrics_out = a.str("metrics-out");
+      !metrics_out.empty()) {
+    obs::MetricsExporter::Config ecfg;
+    ecfg.period = std::chrono::milliseconds(a.num("metrics-period", 100));
+    ecfg.path = metrics_out;
+    const std::string fmt = a.str("metrics-format", "jsonl");
+    if (fmt == "prom" || fmt == "prometheus") {
+      ecfg.format = obs::MetricsExporter::Format::kPrometheus;
+      if (metrics_out == "-") {
+        std::fprintf(stderr, "--metrics-format prom needs a real file path\n");
+        return usage();
+      }
+    } else if (fmt != "jsonl") {
+      return usage();
+    }
+    exporter = std::make_unique<obs::MetricsExporter>(
+        [&engine, &qs, &gate, &spans] {
+          obs::GaugeSample s = engine.sample_gauges();
+          serve::fill_serving_gauges(s, &qs, gate.get(), spans.get());
+          return s;
+        },
+        ecfg);
+  }
 
   VertexId max_vertex = 1;
   for (const Edge& e : edges) max_vertex = std::max({max_vertex, e.src, e.dst});
@@ -482,17 +552,18 @@ int cmd_serve(const Args& a) {
 
   // Write side: classic pull streams, or conflict-scheduled gate admission.
   IngestStats stats;
-  if (a.flag("gate")) {
+  if (use_gate) {
     serve::WriteGateConfig gcfg;
     gcfg.batch_limit = a.num("gate-batch", 1024);
     gcfg.dispatch_threads = std::max<std::uint64_t>(1, a.num("gate-threads", 2));
-    serve::WriteGate gate(engine, gcfg);
+    gcfg.spans = spans.get();
+    gate = std::make_unique<serve::WriteGate>(engine, gcfg);
     StreamOptions opts;
     opts.seed = seed;
     const StreamSet streams = make_streams(edges, 1, opts);
     const auto t0 = std::chrono::steady_clock::now();
-    gate.submit_batch(streams.stream(0).events());
-    gate.flush();
+    gate->submit_batch(streams.stream(0).events());
+    gate->flush();
     engine.drain();
     stats.events = streams.total_events();
     stats.seconds = std::chrono::duration<double>(
@@ -500,7 +571,7 @@ int cmd_serve(const Args& a) {
                         .count();
     stats.events_per_second =
         stats.seconds > 0 ? static_cast<double>(stats.events) / stats.seconds : 0;
-    const serve::WriteGateStats gs = gate.stats();
+    const serve::WriteGateStats gs = gate->stats();
     std::printf(
         "gate: %s batches, %s waves (%s parallel, %s fallback), occupancy "
         "%.1f events/wave, max wave %s\n",
@@ -520,6 +591,7 @@ int cmd_serve(const Args& a) {
   qs.refresh_all();  // final views reflect the fully-converged state
   const serve::ServeStats ss = qs.stats();
   qs.stop();
+  if (exporter) exporter->stop();  // final sample sees the settled plane
 
   obs::HistogramSnapshot merged;
   for (const auto& h : hists) merged.merge(h.snapshot());
@@ -535,30 +607,197 @@ int cmd_serve(const Args& a) {
               with_commas(ss.refreshes).c_str(),
               with_commas(ss.read_epoch_lag_events).c_str(),
               static_cast<double>(ss.view_age_ns) / 1e6);
+  if (spans) {
+    const obs::SpanCounts sc = spans->counts();
+    std::printf(
+        "spans: %s completed of %s sampled (%s open, %s dropped) — "
+        "write-to-readable p50 %.2f ms, p99 %.2f ms\n",
+        with_commas(sc.completed).c_str(),
+        with_commas(sc.batches_sampled).c_str(), with_commas(sc.open).c_str(),
+        with_commas(sc.dropped_open).c_str(),
+        static_cast<double>(sc.freshness_p50_ns) / 1e6,
+        static_cast<double>(sc.freshness_p99_ns) / 1e6);
+  }
+
+  if (!spans_out.empty() && spans) {
+    std::FILE* f = std::fopen(spans_out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", spans_out.c_str());
+      return 1;
+    }
+    const std::string text = spans->snapshot().to_json().dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("spans written to %s (analyze with `remo trace-analyze "
+                "--spans %s --tail`)\n",
+                spans_out.c_str(), spans_out.c_str());
+  }
+
+  if (const std::string stats_json = a.str("stats-json"); !stats_json.empty()) {
+    // The engine's remo-stats-1 document, decorated with the serving plane.
+    Json doc = engine.metrics_snapshot().to_json();
+    Json sj = Json::object();
+    sj["queries_served"] = ss.queries_served;
+    sj["refreshes"] = ss.refreshes;
+    sj["served_programs"] = ss.served_programs;
+    sj["read_epoch_lag_events"] = ss.read_epoch_lag_events;
+    sj["view_age_ns"] = ss.view_age_ns;
+    sj["query_p50_ns"] = merged.p50();
+    sj["query_p99_ns"] = merged.p99();
+    doc["serve"] = sj;
+    if (gate) {
+      const serve::WriteGateStats gs = gate->stats();
+      Json gj = Json::object();
+      gj["events_submitted"] = gs.events_submitted;
+      gj["events_dispatched"] = gs.events_dispatched;
+      gj["batches"] = gs.batches;
+      gj["waves"] = gs.waves;
+      gj["parallel_waves"] = gs.parallel_waves;
+      gj["serial_fallback_batches"] = gs.serial_fallback_batches;
+      gj["mean_wave_occupancy"] = gs.mean_wave_occupancy;
+      gj["max_wave_size"] = gs.max_wave_size;
+      doc["write_gate"] = gj;
+    }
+    if (spans) {
+      const obs::SpanSnapshot sn = spans->snapshot();
+      Json sp = Json::object();
+      sp["batches_seen"] = sn.batches_seen;
+      sp["batches_sampled"] = sn.batches_sampled;
+      sp["completed"] = sn.completed;
+      sp["open"] = sn.open;
+      sp["dropped_open"] = sn.dropped_open;
+      Json fr = Json::object();
+      fr["p50_ns"] = sn.freshness.hist.p50();
+      fr["p90_ns"] = sn.freshness.hist.p90();
+      fr["p99_ns"] = sn.freshness.hist.p99();
+      fr["max_ns"] = sn.freshness.hist.max;
+      sp["freshness"] = fr;
+      Json stages = Json::object();
+      for (std::size_t i = 0; i < obs::kWriteStageCount; ++i) {
+        const obs::HistogramSnapshot& h = sn.stages[i].hist;
+        Json e = Json::object();
+        e["p50_ns"] = h.p50();
+        e["p99_ns"] = h.p99();
+        stages[obs::write_stage_name(static_cast<obs::WriteStage>(i))] = e;
+      }
+      sp["stages"] = stages;
+      doc["spans"] = sp;
+    }
+    std::FILE* f = std::fopen(stats_json.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", stats_json.c_str());
+      return 1;
+    }
+    const std::string text = doc.dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("stats written to %s\n", stats_json.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    std::vector<obs::TraceTrack> extra;
+    if (spans)
+      extra.push_back(spans->trace_track(
+          static_cast<std::uint32_t>(cfg.num_ranks) + 1));
+    if (engine.write_trace(trace_path, std::move(extra))) {
+      std::printf("trace written to %s (load in ui.perfetto.dev or "
+                  "chrome://tracing)\n", trace_path.c_str());
+    } else if (!engine.tracing_enabled()) {
+      std::fprintf(stderr, "trace capture unavailable (compiled out?)\n");
+      return 1;
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
-int cmd_trace_analyze(const Args& a) {
-  const std::string path = a.str("lineage");
-  if (path.empty()) return usage();
+// Slurp + parse a JSON artefact; returns false (with a printed error) on
+// any failure.
+bool load_json_file(const std::string& path, Json& doc) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
+    return false;
   }
   std::string text;
   char buf[1 << 16];
   for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
     text.append(buf, n);
   std::fclose(f);
-
   std::string error;
-  const Json doc = Json::parse(text, &error);
+  doc = Json::parse(text, &error);
   if (!error.empty()) {
     std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
                  error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Write-path span analysis: `--spans FILE --tail` prints the per-stage
+// attribution table for tail write-to-readable latency (docs/OBSERVABILITY.md
+// has the runbook built around this report).
+int analyze_spans(const Args& a, const std::string& path) {
+  Json doc;
+  if (!load_json_file(path, doc)) return 1;
+  std::string error;
+  obs::SpanSnapshot snap;
+  if (!obs::SpanSnapshot::from_json(doc, snap, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
     return 1;
   }
+  if (a.flag("tail")) {
+    double pct = 99.0;
+    if (a.kv.count("--tail-pct"))
+      pct = std::strtod(a.str("tail-pct").c_str(), nullptr);
+    if (!(pct > 0.0 && pct < 100.0)) {
+      std::fprintf(stderr, "--tail-pct wants a percentile in (0, 100)\n");
+      return 1;
+    }
+    std::fputs(obs::format_tail_report(snap, pct).c_str(), stdout);
+  } else {
+    const obs::HistogramSnapshot& h = snap.freshness.hist;
+    std::printf(
+        "spans: %s completed of %s sampled (%s open, %s dropped)\n"
+        "write-to-readable: p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max "
+        "%.2f ms\n"
+        "(re-run with --tail for per-stage attribution and exemplars)\n",
+        with_commas(snap.completed).c_str(),
+        with_commas(snap.batches_sampled).c_str(),
+        with_commas(snap.open).c_str(), with_commas(snap.dropped_open).c_str(),
+        static_cast<double>(h.p50()) / 1e6, static_cast<double>(h.p90()) / 1e6,
+        static_cast<double>(h.p99()) / 1e6, static_cast<double>(h.max) / 1e6);
+  }
+
+  // CI gate: sampled spans that never completed mean the write path lost
+  // track of a batch (or the run ended before its covering publish).
+  if (a.flag("require-complete")) {
+    if (snap.open > 0 || snap.dropped_open > 0) {
+      std::fprintf(stderr,
+                   "%llu span(s) still open, %llu dropped — write path lost "
+                   "batches\n",
+                   static_cast<unsigned long long>(snap.open),
+                   static_cast<unsigned long long>(snap.dropped_open));
+      return 1;
+    }
+    std::printf("all %s sampled spans completed\n",
+                with_commas(snap.batches_sampled).c_str());
+  }
+  return 0;
+}
+
+int cmd_trace_analyze(const Args& a) {
+  if (const std::string spans_path = a.str("spans"); !spans_path.empty())
+    return analyze_spans(a, spans_path);
+  const std::string path = a.str("lineage");
+  if (path.empty()) return usage();
+  Json doc;
+  if (!load_json_file(path, doc)) return 1;
+  std::string error;
   obs::LineageSnapshot snap;
   if (!obs::LineageSnapshot::from_json(doc, snap, &error)) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
