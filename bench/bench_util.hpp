@@ -58,11 +58,15 @@ Json run_row(const std::string& dataset, RankId ranks, std::uint64_t events,
 /// depth percentiles, cross-rank hop ratio).
 Json engine_obs_json(const Engine& engine);
 
-/// Apply causal-lineage env knobs to an engine config (the lineage-overhead
-/// A/B knob and CI's lineage-smoke job):
+/// Apply observability env knobs to an engine config (the lineage- and
+/// prof-overhead A/B knobs and CI's lineage-/prof-smoke jobs):
 ///   REMO_OBS_LINEAGE        "1" enables lineage tracing ("0"/unset: off)
 ///   REMO_OBS_LINEAGE_SHIFT  sampling shift (every 2^shift-th topology
 ///                           event traced; default ObsConfig's 6)
+///   REMO_OBS_PROF           "1" enables hardware-counter profiling
+///   REMO_OBS_PROF_SHIFT     counter-read stride shift (every 2^shift-th
+///                           phase boundary read; default ObsConfig's 4)
+///   REMO_OBS_PROF_BACKEND   "auto" (default) | "perf" | "rusage" | "noop"
 void apply_obs_env(EngineConfig& cfg);
 
 /// Apply the comm hot-path env knobs (the coalescing/mailbox A/B sweeps):

@@ -6,6 +6,7 @@
 
 // Common utilities
 #include "common/bitset.hpp"
+#include "common/build_info.hpp"
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
@@ -15,12 +16,14 @@
 
 // Observability (histograms, phase timers, chrome-trace export, live
 // telemetry: gauges, metrics exporter, stall watchdog)
+#include "obs/bench_compare.hpp"
 #include "obs/exporter.hpp"
 #include "obs/gauges.hpp"
 #include "obs/histogram.hpp"
 #include "obs/lineage.hpp"
 #include "obs/obs_config.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/prof.hpp"
 #include "obs/span.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"

@@ -1,0 +1,26 @@
+// Build provenance baked in at configure time (git SHA, compiler, flags).
+// Every BenchReport embeds this in its "config.build" block so committed
+// BENCH_*.json evidence is traceable to the exact tree and toolchain that
+// produced it, and `remo bench-compare` can refuse cross-toolchain
+// comparisons (the SHA itself is masked from the fingerprint — comparing
+// two commits is the point of the tool).
+#pragma once
+
+#include "common/json.hpp"
+
+namespace remo {
+
+struct BuildInfo {
+  const char* git_sha;     ///< short SHA at configure time ("unknown" outside git)
+  const char* compiler;    ///< "<id> <version>", e.g. "GNU 12.2.0"
+  const char* build_type;  ///< CMAKE_BUILD_TYPE
+  const char* cxx_flags;   ///< base + per-build-type flags, whitespace-trimmed
+};
+
+/// The provenance of this build (values substituted by CMake).
+const BuildInfo& build_info();
+
+/// The same as a JSON object {git_sha, compiler, build_type, cxx_flags}.
+Json build_info_json();
+
+}  // namespace remo

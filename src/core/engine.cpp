@@ -156,6 +156,16 @@ Engine::Engine(EngineConfig cfg)
                    "lineage tracing supports at most 254 ranks");
     main_lineage_ = std::make_unique<obs::LineageTable>(cfg_.obs.lineage_capacity);
   }
+  if (cfg_.obs.prof) {
+    // Resolve once (the perf_event probe costs a syscall) and give every
+    // rank its own backend instance: counter fds are per-thread.
+    prof_backend_kind_ = obs::resolve_prof_backend(cfg_.obs.prof_backend);
+    if (cfg_.obs.prof_stacks && obs::StackSampler::supported()) {
+      stack_sampler_ = std::make_unique<obs::StackSampler>(
+          obs::StackSamplerConfig{cfg_.obs.prof_stack_period_us, 48});
+      stack_sampler_->start();
+    }
+  }
   ranks_.reserve(cfg_.num_ranks);
   for (RankId r = 0; r < cfg_.num_ranks; ++r) {
     auto rt = std::make_unique<detail::RankRuntime>(cfg_.store);
@@ -175,6 +185,10 @@ Engine::Engine(EngineConfig cfg)
       rt->lineage_sample_mask =
           (std::uint64_t{1} << (cfg_.obs.lineage_sample_shift & 63)) - 1;
     }
+    if (cfg_.obs.prof)
+      rt->prof = std::make_unique<obs::RankProfiler>(
+          r, obs::make_counter_backend(prof_backend_kind_),
+          cfg_.obs.prof_sample_shift);
     ranks_.push_back(std::move(rt));
   }
   threads_.reserve(cfg_.num_ranks);
@@ -183,6 +197,8 @@ Engine::Engine(EngineConfig cfg)
 }
 
 Engine::~Engine() {
+  // The stack sampler signals rank threads; stop it before they exit.
+  if (stack_sampler_) stack_sampler_->stop();
   shutdown_.store(true, std::memory_order_release);
   comm_.interrupt_all();
   for (auto& t : threads_) t.join();
@@ -599,7 +615,39 @@ obs::MetricsSnapshot Engine::metrics_snapshot() const {
     s.lineage_enabled = true;
     s.lineage = lineage_snapshot().summary();
   }
+  if (prof_enabled()) s.prof = prof_snapshot();
   return s;
+}
+
+bool Engine::prof_enabled() const noexcept { return cfg_.obs.prof; }
+
+obs::ProfSnapshot Engine::prof_snapshot() const {
+  obs::ProfSnapshot s;
+  if (!prof_enabled()) return s;
+  s.enabled = true;
+  s.backend = obs::prof_backend_name(prof_backend_kind_);
+  s.degraded = prof_backend_kind_ != obs::ProfBackendKind::kPerfEvent;
+  s.sample_shift = cfg_.obs.prof_sample_shift;
+  s.per_rank.reserve(ranks_.size());
+  for (const auto& rt : ranks_) {
+    s.available |= rt->prof->available();
+    s.per_rank.push_back(rt->prof->snapshot());
+  }
+  return s;
+}
+
+bool Engine::write_prof(const std::string& path) const {
+  if (!prof_enabled()) return false;
+  const std::string text = prof_snapshot().to_json().dump(2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool Engine::write_folded(const std::string& path) {
+  if (!stack_sampler_) return false;
+  return stack_sampler_->write_folded(path);
 }
 
 bool Engine::lineage_enabled() const noexcept { return main_lineage_ != nullptr; }
@@ -746,6 +794,21 @@ obs::GaugeSample Engine::sample_gauges() const {
     s.safra_probe_rounds = safra_.probe_rounds();
     s.safra_probe_active = safra_.probe_active();
     s.safra_terminated = safra_.terminated();
+  }
+
+  if (prof_enabled()) {
+    s.prof.present = true;
+    s.prof.backend = obs::prof_backend_name(prof_backend_kind_);
+    s.prof.degraded = prof_backend_kind_ != obs::ProfBackendKind::kPerfEvent;
+    for (const auto& rt : ranks_) {
+      const obs::RankProfSnapshot rs = rt->prof->snapshot();
+      for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+        s.prof.phase[i] += rs.phase[i];
+        s.prof.attributed_ns[i] += rs.attributed_ns[i];
+      }
+      s.prof.reads += rs.reads;
+      s.prof.read_failures += rs.read_failures;
+    }
   }
   return s;
 }

@@ -1,0 +1,251 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strfmt.hpp"
+
+namespace remo::obs {
+namespace {
+
+// --- config fingerprint ------------------------------------------------------
+
+/// Collect dotted paths where the two config subtrees differ. `build.git_sha`
+/// is masked: comparing two commits of the same code is the tool's purpose.
+void diff_config(const Json* a, const Json* b, const std::string& path,
+                 std::vector<std::string>& out) {
+  if (path == "config.build.git_sha") return;
+  const bool ha = a != nullptr && !a->is_null();
+  const bool hb = b != nullptr && !b->is_null();
+  if (!ha && !hb) return;
+  if (ha != hb) {
+    out.push_back(path.empty() ? "config" : path);
+    return;
+  }
+  if (a->is_object() && b->is_object()) {
+    for (const auto& [key, val] : a->members()) {
+      const std::string sub = path.empty() ? key : path + "." + key;
+      diff_config(&val, b->find(key), sub, out);
+    }
+    for (const auto& [key, val] : b->members())
+      if (!a->contains(key)) {
+        const std::string sub = path.empty() ? key : path + "." + key;
+        diff_config(nullptr, &val, sub, out);
+      }
+    return;
+  }
+  if (a->dump() != b->dump()) out.push_back(path.empty() ? "config" : path);
+}
+
+// --- run matching ------------------------------------------------------------
+
+/// Identity of a run row: every non-numeric scalar field plus "ranks".
+/// Numeric results vary between the two reports; the identifying shape
+/// (dataset name, variant labels, rank count) must not.
+std::string run_identity(const Json& row) {
+  std::string id;
+  for (const auto& [key, val] : row.members()) {
+    const bool identifying =
+        val.is_string() || val.is_bool() || key == "ranks";
+    if (!identifying) continue;
+    if (!id.empty()) id += " ";
+    if (val.is_string())
+      id += key + "=" + val.as_string();
+    else if (val.is_bool())
+      id += key + "=" + (val.as_bool() ? "true" : "false");
+    else
+      id += key + "=" + strfmt("%llu", static_cast<unsigned long long>(val.as_uint()));
+  }
+  return id.empty() ? "(run)" : id;
+}
+
+// --- metric collection -------------------------------------------------------
+
+void collect_numeric(const Json& v, const std::string& path,
+                     std::vector<std::pair<std::string, double>>& out) {
+  if (v.is_number()) {
+    out.emplace_back(path, v.as_double());
+    return;
+  }
+  if (v.is_object()) {
+    for (const auto& [key, val] : v.members())
+      collect_numeric(val, path.empty() ? key : path + "." + key, out);
+  }
+  // Arrays inside run rows (bucket lists etc.) are positional noise for a
+  // regression gate; skip them.
+}
+
+std::string leaf_name(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+/// Direction heuristic: throughput-like metrics are higher-better; costs
+/// (seconds, latency, misses, RSS) are lower-better.
+bool metric_higher_better(const std::string& path) {
+  const std::string leaf = leaf_name(path);
+  if (leaf.find("per_second") != std::string::npos) return true;
+  if (leaf.find("throughput") != std::string::npos) return true;
+  if (leaf == "ipc" || leaf.rfind("ipc_", 0) == 0) return true;
+  return false;
+}
+
+struct Gate {
+  bool gated = false;
+  double pct = 0;
+};
+
+Gate gate_for(const std::string& path, const BenchCompareOptions& opts) {
+  const std::string leaf = leaf_name(path);
+  if (auto it = opts.gates.find(path); it != opts.gates.end())
+    return {true, it->second};
+  if (auto it = opts.gates.find(leaf); it != opts.gates.end())
+    return {true, it->second};
+  if (leaf == "events_per_second") return {true, opts.default_gate_pct};
+  return {};
+}
+
+void compare_section(const std::string& run_id, const Json& a, const Json& b,
+                     const BenchCompareOptions& opts, bool gateable,
+                     std::vector<BenchMetricDelta>& out) {
+  std::vector<std::pair<std::string, double>> ma, mb;
+  collect_numeric(a, "", ma);
+  collect_numeric(b, "", mb);
+  for (const auto& [path, va] : ma) {
+    const auto it = std::find_if(mb.begin(), mb.end(),
+                                 [&](const auto& p) { return p.first == path; });
+    if (it == mb.end()) continue;
+    const double vb = it->second;
+    BenchMetricDelta d;
+    d.run = run_id;
+    d.metric = path;
+    d.a = va;
+    d.b = vb;
+    if (va == 0.0)
+      d.pct = vb == 0.0 ? 0.0 : (vb > 0 ? 1 : -1) * 1e9;  // divergent; display caps
+    else
+      d.pct = (vb - va) / std::fabs(va) * 100.0;
+    d.higher_better = metric_higher_better(path);
+    if (gateable) {
+      const Gate g = gate_for(path, opts);
+      d.gated = g.gated;
+      d.gate_pct = g.pct;
+      if (d.gated) {
+        const double bad = d.higher_better ? -d.pct : d.pct;
+        d.regression = bad > g.pct;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+BenchCompareResult bench_compare(const Json& a, const Json& b,
+                                 const BenchCompareOptions& opts) {
+  BenchCompareResult r;
+  r.forced = opts.force;
+  if (const Json* n = a.find("name")) r.name_a = n->is_string() ? n->as_string() : "";
+  if (const Json* n = b.find("name")) r.name_b = n->is_string() ? n->as_string() : "";
+
+  diff_config(a.find("config"), b.find("config"), "config", r.config_diffs);
+  // The name/scale/repeats header rows are config too: comparing fig3 at
+  // scale 0 against fig3 at scale -2 is as meaningless as a batch-size flip.
+  for (const char* key : {"schema", "name", "scale_shift", "repeats"}) {
+    const Json* ka = a.find(key);
+    const Json* kb = b.find(key);
+    const std::string da = ka ? ka->dump() : "";
+    const std::string db = kb ? kb->dump() : "";
+    if (da != db) r.config_diffs.push_back(key);
+  }
+  r.config_mismatch = !r.config_diffs.empty();
+  if (r.config_mismatch && !opts.force) return r;
+
+  const Json* runs_a = a.find("runs");
+  const Json* runs_b = b.find("runs");
+  std::vector<std::pair<std::string, const Json*>> rows_b;
+  if (runs_b && runs_b->is_array())
+    for (const Json& row : runs_b->items())
+      rows_b.emplace_back(run_identity(row), &row);
+  std::vector<bool> used_b(rows_b.size(), false);
+
+  if (runs_a && runs_a->is_array()) {
+    for (const Json& row : runs_a->items()) {
+      const std::string id = run_identity(row);
+      std::size_t match = rows_b.size();
+      for (std::size_t i = 0; i < rows_b.size(); ++i)
+        if (!used_b[i] && rows_b[i].first == id) {
+          match = i;
+          break;
+        }
+      if (match == rows_b.size()) {
+        r.only_in_a.push_back(id);
+        continue;
+      }
+      used_b[match] = true;
+      compare_section(id, row, *rows_b[match].second, opts, /*gateable=*/true,
+                      r.deltas);
+    }
+  }
+  for (std::size_t i = 0; i < rows_b.size(); ++i)
+    if (!used_b[i]) r.only_in_b.push_back(rows_b[i].first);
+
+  // Process rusage rides along as informational context (gate it only via
+  // an explicit --gate, e.g. max_rss_kb=10).
+  if (const Json* ra = a.find("rusage"))
+    if (const Json* rb = b.find("rusage"))
+      compare_section("(process)", *ra, *rb, opts,
+                      /*gateable=*/!opts.gates.empty(), r.deltas);
+  return r;
+}
+
+std::string format_bench_compare(const BenchCompareResult& r) {
+  std::string out;
+  out += strfmt("bench-compare: %s -> %s\n",
+                r.name_a.empty() ? "A" : r.name_a.c_str(),
+                r.name_b.empty() ? "B" : r.name_b.c_str());
+  if (r.config_mismatch) {
+    out += strfmt("config blocks differ (%zu field%s):\n", r.config_diffs.size(),
+                  r.config_diffs.size() == 1 ? "" : "s");
+    for (const std::string& d : r.config_diffs) out += "  " + d + "\n";
+    if (!r.forced) {
+      out += "refusing to compare (use --force to override)\n";
+      return out;
+    }
+    out += "--force: comparing anyway\n";
+  }
+
+  std::string last_run;
+  for (const auto& d : r.deltas) {
+    if (d.run != last_run) {
+      out += strfmt("\n%s\n", d.run.c_str());
+      last_run = d.run;
+    }
+    const double shown = std::clamp(d.pct, -9999.0, 9999.0);
+    std::string flag;
+    if (d.regression)
+      flag = strfmt("  REGRESSION (gate %.1f%%)", d.gate_pct);
+    else if (d.gated)
+      flag = strfmt("  ok (gate %.1f%%)", d.gate_pct);
+    out += strfmt("  %-40s %14.4g %14.4g  %+8.2f%%%s\n", d.metric.c_str(), d.a,
+                  d.b, shown, flag.c_str());
+  }
+  for (const std::string& id : r.only_in_a)
+    out += strfmt("\nonly in A: %s\n", id.c_str());
+  for (const std::string& id : r.only_in_b)
+    out += strfmt("only in B: %s\n", id.c_str());
+
+  std::size_t gated = 0, regressed = 0;
+  for (const auto& d : r.deltas) {
+    gated += d.gated ? 1 : 0;
+    regressed += d.regression ? 1 : 0;
+  }
+  out += strfmt("\n%s: %zu metric%s compared, %zu gated, %zu regression%s\n",
+                r.ok() ? "PASS" : "FAIL", r.deltas.size(),
+                r.deltas.size() == 1 ? "" : "s", gated, regressed,
+                regressed == 1 ? "" : "s");
+  return out;
+}
+
+}  // namespace remo::obs

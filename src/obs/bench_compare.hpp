@@ -1,0 +1,70 @@
+// Bench-regression comparison: `remo bench-compare A.json B.json`.
+//
+// Compares two remo-bench-1 reports (docs/OBSERVABILITY.md) run-by-run,
+// printing per-metric percent deltas and gating selected metrics with
+// configurable thresholds, so CI can fail a PR that regresses throughput.
+// Reports whose config blocks differ (comm knobs, obs knobs, compiler,
+// build flags — everything except the git SHA, which is the thing being
+// compared) are refused unless forced: a 10% "regression" between
+// different batch sizes is an apples-to-oranges artefact, not a finding.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace remo::obs {
+
+struct BenchCompareOptions {
+  /// Gate applied to `events_per_second` when no explicit gate names it.
+  double default_gate_pct = 3.0;
+  /// Explicit gates: metric leaf name (or dotted path) -> allowed % change
+  /// in the bad direction. Overrides the default for that metric.
+  std::map<std::string, double> gates;
+  /// Compare even when the config blocks differ.
+  bool force = false;
+};
+
+/// One numeric metric present in both reports' matching runs.
+struct BenchMetricDelta {
+  std::string run;     ///< run identity ("dataset=uk-2007 ranks=4"), or "(process)"
+  std::string metric;  ///< dotted path inside the run row ("latency.p99_us")
+  double a = 0;
+  double b = 0;
+  double pct = 0;             ///< (b - a) / a * 100
+  bool higher_better = false; ///< direction heuristic (throughput-like names)
+  bool gated = false;         ///< a gate applies to this metric
+  double gate_pct = 0;        ///< the gate threshold when gated
+  bool regression = false;    ///< gated and moved past the gate the bad way
+};
+
+struct BenchCompareResult {
+  /// Config blocks differ (git SHA masked). When set and not forced, no
+  /// deltas are computed.
+  bool config_mismatch = false;
+  bool forced = false;
+  std::vector<std::string> config_diffs;  ///< dotted paths that differ
+  std::vector<BenchMetricDelta> deltas;
+  std::vector<std::string> only_in_a;  ///< run identities without a partner
+  std::vector<std::string> only_in_b;
+  std::string name_a, name_b;  ///< report names for display
+
+  bool has_regression() const {
+    for (const auto& d : deltas)
+      if (d.regression) return true;
+    return false;
+  }
+  /// Exit-zero condition: comparable and no gated metric regressed.
+  bool ok() const { return !(config_mismatch && !forced) && !has_regression(); }
+};
+
+/// Compare two parsed remo-bench-1 documents.
+BenchCompareResult bench_compare(const Json& a, const Json& b,
+                                 const BenchCompareOptions& opts = {});
+
+/// Human-readable table (the CLI's output), ending with a PASS/FAIL line.
+std::string format_bench_compare(const BenchCompareResult& r);
+
+}  // namespace remo::obs

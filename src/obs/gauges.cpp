@@ -56,6 +56,31 @@ Json GaugeSample::to_json(bool include_per_rank) const {
     }
     j["serving"] = std::move(s);
   }
+  if (prof.present) {
+    Json p = Json::object();
+    p["backend"] = prof.backend;
+    p["degraded"] = prof.degraded;
+    p["reads"] = prof.reads;
+    p["read_failures"] = prof.read_failures;
+    Json phases = Json::object();
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const CounterSet& c = prof.phase[i];
+      Json ph = Json::object();
+      ph["cycles"] = c[ProfCounter::kCycles];
+      ph["instructions"] = c[ProfCounter::kInstructions];
+      ph["llc_loads"] = c[ProfCounter::kLlcLoads];
+      ph["llc_misses"] = c[ProfCounter::kLlcMisses];
+      ph["branch_misses"] = c[ProfCounter::kBranchMisses];
+      ph["stalled_cycles"] = c[ProfCounter::kStalledCycles];
+      ph["task_clock_ns"] = c[ProfCounter::kTaskClockNs];
+      ph["attributed_ns"] = prof.attributed_ns[i];
+      ph["ipc"] = prof_ipc(c);
+      ph["llc_miss_rate"] = prof_llc_miss_rate(c);
+      phases[phase_name(static_cast<Phase>(i))] = std::move(ph);
+    }
+    p["phases"] = std::move(phases);
+    j["prof"] = std::move(p);
+  }
   if (include_per_rank) {
     Json ranks = Json::array();
     for (std::size_t r = 0; r < per_rank.size(); ++r) {
@@ -124,6 +149,13 @@ void PromWriter::labelled(std::string_view name, std::string_view key,
                  static_cast<unsigned long long>(v));
 }
 
+void PromWriter::labelled(std::string_view name, std::string_view key,
+                          std::string_view label, double v) {
+  out_ += strfmt("%s{%.*s=\"%.*s\"} %.9f\n", prom_sanitize_name(name).c_str(),
+                 static_cast<int>(key.size()), key.data(),
+                 static_cast<int>(label.size()), label.data(), v);
+}
+
 std::string GaugeSample::to_prometheus() const {
   PromWriter w;
   w.header("remo_events_ingested_total",
@@ -174,7 +206,7 @@ std::string GaugeSample::to_prometheus() const {
   w.header("remo_rank_idle", "1 while the rank is parked", "gauge");
   for (std::size_t r = 0; r < per_rank.size(); ++r)
     w.labelled("remo_rank_idle", "rank", strfmt("%zu", r),
-               per_rank[r].idle ? 1 : 0);
+               std::uint64_t{per_rank[r].idle ? 1u : 0u});
   if (serving.present) {
     w.header("remo_serve_queries_total", "Catalog queries answered", "counter");
     w.value("remo_serve_queries_total", serving.queries_served);
@@ -227,6 +259,58 @@ std::string GaugeSample::to_prometheus() const {
                "p99 write-to-readable freshness", "gauge");
       w.value("remo_freshness_p99_seconds",
               static_cast<double>(serving.freshness_p99_ns) / 1e9);
+    }
+  }
+  if (prof.present) {
+    w.header("remo_prof_backend_info",
+             "Resolved profiling backend (1 = active; degraded label set "
+             "unless perf_event)",
+             "gauge");
+    w.labelled("remo_prof_backend_info", "backend", prof.backend,
+               std::uint64_t{1});
+    w.header("remo_prof_reads_total", "Successful counter-group reads",
+             "counter");
+    w.value("remo_prof_reads_total", prof.reads);
+    w.header("remo_prof_read_failures_total", "Failed counter-group reads",
+             "counter");
+    w.value("remo_prof_read_failures_total", prof.read_failures);
+    w.header("remo_prof_cycles_total", "CPU cycles attributed per phase",
+             "counter");
+    w.header("remo_prof_instructions_total",
+             "Instructions retired attributed per phase", "counter");
+    w.header("remo_prof_llc_loads_total", "LLC read accesses per phase",
+             "counter");
+    w.header("remo_prof_llc_misses_total", "LLC read misses per phase",
+             "counter");
+    w.header("remo_prof_branch_misses_total", "Branch misses per phase",
+             "counter");
+    w.header("remo_prof_stalled_cycles_total",
+             "Backend-stalled cycles per phase", "counter");
+    w.header("remo_prof_task_clock_seconds_total",
+             "On-CPU time attributed per phase", "counter");
+    w.header("remo_prof_ipc", "Instructions per cycle per phase", "gauge");
+    w.header("remo_prof_llc_miss_rate", "LLC read miss rate per phase",
+             "gauge");
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const char* ph = phase_name(static_cast<Phase>(i));
+      const CounterSet& c = prof.phase[i];
+      w.labelled("remo_prof_cycles_total", "phase", ph,
+                 c[ProfCounter::kCycles]);
+      w.labelled("remo_prof_instructions_total", "phase", ph,
+                 c[ProfCounter::kInstructions]);
+      w.labelled("remo_prof_llc_loads_total", "phase", ph,
+                 c[ProfCounter::kLlcLoads]);
+      w.labelled("remo_prof_llc_misses_total", "phase", ph,
+                 c[ProfCounter::kLlcMisses]);
+      w.labelled("remo_prof_branch_misses_total", "phase", ph,
+                 c[ProfCounter::kBranchMisses]);
+      w.labelled("remo_prof_stalled_cycles_total", "phase", ph,
+                 c[ProfCounter::kStalledCycles]);
+      w.labelled("remo_prof_task_clock_seconds_total", "phase", ph,
+                 static_cast<double>(c[ProfCounter::kTaskClockNs]) / 1e9);
+      w.labelled("remo_prof_ipc", "phase", ph, prof_ipc(c));
+      w.labelled("remo_prof_llc_miss_rate", "phase", ph,
+                 prof_llc_miss_rate(c));
     }
   }
   return w.str();

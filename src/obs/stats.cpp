@@ -68,6 +68,7 @@ Json MetricsSnapshot::to_json(bool include_per_rank) const {
   j["update_latency"] = histogram_to_json(update_latency_ns);
   j["phases"] = phases_to_json(phases);
   if (lineage_enabled) j["lineage"] = lineage.to_json();
+  if (prof.enabled) j["prof"] = prof.to_json();
   if (include_per_rank) {
     Json ranks = Json::array();
     for (std::size_t r = 0; r < per_rank.size(); ++r) {
@@ -139,6 +140,26 @@ std::string MetricsSnapshot::to_text() const {
         with_commas(lineage.visitors_p50).c_str(),
         with_commas(lineage.visitors_p99).c_str(), lineage.depth_p50,
         lineage.depth_p99, lineage.cross_rank_ratio);
+  }
+  if (prof.enabled) {
+    const RankProfSnapshot t = prof.totals();
+    out += strfmt("hardware counters (backend %s%s):\n", prof.backend.c_str(),
+                  prof.degraded ? ", DEGRADED" : "");
+    const bool hw =
+        (prof.available & prof_counter_bit(ProfCounter::kCycles)) != 0;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const CounterSet& c = t.phase[i];
+      if (hw) {
+        out += strfmt("  %-15s ipc %.2f   llc-miss %.1f%%   cycles %s\n",
+                      phase_name(static_cast<Phase>(i)), prof_ipc(c),
+                      100.0 * prof_llc_miss_rate(c),
+                      with_commas(c[ProfCounter::kCycles]).c_str());
+      } else {
+        out += strfmt("  %-15s task-clock %s\n",
+                      phase_name(static_cast<Phase>(i)),
+                      ns_human(c[ProfCounter::kTaskClockNs]).c_str());
+      }
+    }
   }
   return out;
 }

@@ -14,6 +14,7 @@
 #include "obs/histogram.hpp"
 #include "obs/lineage.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/prof.hpp"
 #include "runtime/metrics.hpp"
 
 namespace remo::obs {
@@ -31,6 +32,7 @@ struct MetricsSnapshot {
   std::vector<RankObs> per_rank;
   bool lineage_enabled = false;
   LineageSummary lineage;  ///< work-amplification aggregates (when enabled)
+  ProfSnapshot prof;       ///< hardware-counter attribution (prof.enabled)
 
   /// Latency percentiles + counters + phases as a JSON object
   /// (schema "remo-stats-1"; see docs/OBSERVABILITY.md).

@@ -1,0 +1,179 @@
+// Bench-regression comparison (obs/bench_compare.hpp): run matching,
+// percent deltas, gate direction, config-fingerprint refusal, --force.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/bench_compare.hpp"
+
+namespace remo::obs::test {
+namespace {
+
+Json make_report(double eps, double seconds, const std::string& sha = "abc",
+                 int batch_size = 128) {
+  Json doc = Json::object();
+  doc["schema"] = "remo-bench-1";
+  doc["name"] = "fig3";
+  doc["title"] = "saturation";
+  doc["scale_shift"] = 0;
+  doc["repeats"] = 3;
+  Json config = Json::object();
+  config["batch_size"] = static_cast<std::uint64_t>(batch_size);
+  Json build = Json::object();
+  build["git_sha"] = sha;
+  build["compiler"] = "GNU 12.2.0";
+  config["build"] = build;
+  doc["config"] = config;
+  Json runs = Json::array();
+  Json row = Json::object();
+  row["dataset"] = "rmat-16";
+  row["ranks"] = 4;
+  row["events"] = 1000000;
+  row["seconds"] = seconds;
+  row["events_per_second"] = eps;
+  Json latency = Json::object();
+  latency["p99_ns"] = 42000;
+  row["latency"] = latency;
+  runs.push_back(row);
+  doc["runs"] = runs;
+  Json ru = Json::object();
+  ru["max_rss_kb"] = 50000;
+  doc["rusage"] = ru;
+  return doc;
+}
+
+TEST(BenchCompare, IdenticalReportsPass) {
+  const Json a = make_report(1e6, 1.0);
+  const BenchCompareResult r = bench_compare(a, a);
+  EXPECT_FALSE(r.config_mismatch);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.has_regression());
+  ASSERT_FALSE(r.deltas.empty());
+  for (const auto& d : r.deltas) EXPECT_EQ(d.pct, 0.0);
+}
+
+TEST(BenchCompare, ThroughputDropBeyondGateFails) {
+  // 10% slower than baseline, default gate 3% -> regression.
+  const Json a = make_report(1e6, 1.0, "aaa");
+  const Json b = make_report(0.9e6, 1.11, "bbb");  // SHA differs: still compared
+  const BenchCompareResult r = bench_compare(a, b);
+  EXPECT_FALSE(r.config_mismatch) << "git_sha must be masked";
+  EXPECT_TRUE(r.has_regression());
+  EXPECT_FALSE(r.ok());
+  bool found = false;
+  for (const auto& d : r.deltas)
+    if (d.metric == "events_per_second") {
+      found = true;
+      EXPECT_TRUE(d.gated);
+      EXPECT_TRUE(d.regression);
+      EXPECT_TRUE(d.higher_better);
+      EXPECT_NEAR(d.pct, -10.0, 0.01);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, ThroughputGainPasses) {
+  const BenchCompareResult r =
+      bench_compare(make_report(1e6, 1.0), make_report(1.2e6, 0.83));
+  EXPECT_TRUE(r.ok());  // higher-better metric went up: not a regression
+}
+
+TEST(BenchCompare, SmallDropWithinGatePasses) {
+  const BenchCompareResult r =
+      bench_compare(make_report(1e6, 1.0), make_report(0.98e6, 1.02));
+  EXPECT_TRUE(r.ok());  // -2% within the 3% gate
+}
+
+TEST(BenchCompare, LowerBetterRegressionDetected) {
+  BenchCompareOptions opts;
+  opts.gates["p99_ns"] = 5.0;
+  // Rebuild with a worse p99 (Json has no array mutation; rebuild the doc).
+  Json base = make_report(1e6, 1.0);
+  Json doc = Json::object();
+  for (const auto& [k, v] : base.members())
+    if (k != "runs") doc[k] = v;
+  Json row = Json::object();
+  for (const auto& [k, v] : base.find("runs")->at(0).members())
+    if (k != "latency") row[k] = v;
+  Json latency = Json::object();
+  latency["p99_ns"] = 63000;  // +50%
+  row["latency"] = latency;
+  Json runs = Json::array();
+  runs.push_back(row);
+  doc["runs"] = runs;
+
+  const BenchCompareResult r = bench_compare(base, doc, opts);
+  EXPECT_TRUE(r.has_regression());
+  bool found = false;
+  for (const auto& d : r.deltas)
+    if (d.metric == "latency.p99_ns") {
+      found = true;
+      EXPECT_TRUE(d.gated);
+      EXPECT_FALSE(d.higher_better);
+      EXPECT_TRUE(d.regression);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, ConfigMismatchRefusedUnlessForced) {
+  const Json a = make_report(1e6, 1.0, "abc", /*batch_size=*/128);
+  const Json b = make_report(1e6, 1.0, "abc", /*batch_size=*/256);
+  const BenchCompareResult refused = bench_compare(a, b);
+  EXPECT_TRUE(refused.config_mismatch);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.deltas.empty()) << "refusal computes no deltas";
+  ASSERT_FALSE(refused.config_diffs.empty());
+  EXPECT_EQ(refused.config_diffs[0], "config.batch_size");
+
+  BenchCompareOptions opts;
+  opts.force = true;
+  const BenchCompareResult forced = bench_compare(a, b, opts);
+  EXPECT_TRUE(forced.config_mismatch);
+  EXPECT_TRUE(forced.forced);
+  EXPECT_FALSE(forced.deltas.empty());
+  EXPECT_TRUE(forced.ok()) << "forced + no regression = pass";
+}
+
+TEST(BenchCompare, DifferentBenchNameIsAMismatch) {
+  Json b = make_report(1e6, 1.0);
+  b["name"] = "fig4";
+  const BenchCompareResult r = bench_compare(make_report(1e6, 1.0), b);
+  EXPECT_TRUE(r.config_mismatch);
+}
+
+TEST(BenchCompare, UnmatchedRunsReported) {
+  Json b = make_report(1e6, 1.0);
+  Json row = Json::object();
+  row["dataset"] = "rmat-20";
+  row["ranks"] = 8;
+  row["events_per_second"] = 2e6;
+  b["runs"].push_back(row);
+  const BenchCompareResult r = bench_compare(make_report(1e6, 1.0), b);
+  ASSERT_EQ(r.only_in_b.size(), 1u);
+  EXPECT_NE(r.only_in_b[0].find("rmat-20"), std::string::npos);
+  EXPECT_TRUE(r.only_in_a.empty());
+}
+
+TEST(BenchCompare, FormatMentionsVerdict) {
+  const std::string pass =
+      format_bench_compare(bench_compare(make_report(1e6, 1.0),
+                                         make_report(1e6, 1.0)));
+  EXPECT_NE(pass.find("PASS"), std::string::npos);
+  const std::string fail =
+      format_bench_compare(bench_compare(make_report(1e6, 1.0),
+                                         make_report(0.5e6, 2.0)));
+  EXPECT_NE(fail.find("FAIL"), std::string::npos);
+  EXPECT_NE(fail.find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompare, RefusalMessageNamesForce) {
+  const Json a = make_report(1e6, 1.0, "abc", 128);
+  const Json b = make_report(1e6, 1.0, "abc", 256);
+  const std::string text = format_bench_compare(bench_compare(a, b));
+  EXPECT_NE(text.find("--force"), std::string::npos);
+  EXPECT_NE(text.find("config.batch_size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remo::obs::test

@@ -7,6 +7,8 @@
 //                 [--weights MAX] [--snapshot out.txt] [--safra]
 //   remo serve    --graph graph.bin [--queries N] [--query-threads T]
 //                 [--refresh-ms MS] [--gate] [--spans] [--stats-json FILE]
+//   remo prof     --graph graph.bin [...]   (ingest with --prof forced on)
+//   remo bench-compare A.json B.json [--gate METRIC=PCT] [--force]
 //
 // Files ending in .txt use the text edge format; everything else the
 // packed binary format (src u64, dst u64, weight u32).
@@ -81,6 +83,10 @@ int usage() {
                "                [--lineage] [--lineage-out FILE] [--lineage-sample SHIFT]\n"
                "                [--watch] [--metrics-out FILE] [--metrics-period MS]\n"
                "                [--metrics-format jsonl|prom] [--watchdog]\n"
+               "                [--prof] [--prof-out FILE] [--prof-shift N]\n"
+               "                [--prof-backend auto|perf|rusage|noop]\n"
+               "                [--folded FILE] [--prof-period-us US]\n"
+               "  remo prof     (alias: ingest with --prof forced on)\n"
                "  remo serve    --graph FILE [--ranks N] [--streams N] [--source V]\n"
                "                [--queries N] [--query-threads T] [--refresh-ms MS]\n"
                "                [--top-k K] [--safra] [--seed S]\n"
@@ -89,9 +95,15 @@ int usage() {
                "                [--stats-json FILE] [--trace FILE]\n"
                "                [--metrics-out FILE] [--metrics-period MS]\n"
                "                [--metrics-format jsonl|prom]\n"
+               "                [--prof] [--prof-out FILE] [--prof-shift N]\n"
+               "                [--prof-backend auto|perf|rusage|noop]\n"
+               "                [--folded FILE] [--prof-period-us US]\n"
                "  remo trace-analyze --lineage FILE [--top K] [--min-descendants N]\n"
                "  remo trace-analyze --spans FILE [--tail] [--tail-pct P]\n"
                "                     [--require-complete]\n"
+               "  remo trace-analyze --prof FILE [--spans FILE]\n"
+               "  remo bench-compare A.json B.json [--gate METRIC=PCT]\n"
+               "                     [--gate-pct PCT] [--force]\n"
                "  remo fuzz       [--seeds N] [--seed-base S] [--vertices N]\n"
                "                  [--events N] [--deletes PERMILLE] [--max-weight W]\n"
                "                  [--out-dir DIR] [--keep-going] [--no-shrink]\n"
@@ -160,6 +172,29 @@ int usage() {
                "  --batch-size N     per-destination send-buffer batch (default 128)\n"
                "  --no-coalesce      deliver every Update visitor verbatim instead\n"
                "                     of merging same-sender monotone updates\n"
+               "\n"
+               "hardware counters (docs/OBSERVABILITY.md \"Profiling\"):\n"
+               "  --prof             open per-rank counter groups (cycles, instr,\n"
+               "                     LLC loads/misses, branch misses, stalls) and\n"
+               "                     attribute them to engine phases; prints the\n"
+               "                     per-rank x per-phase IPC / miss-rate table\n"
+               "  --prof-out FILE    write the remo-prof-1 JSON snapshot (feed to\n"
+               "                     trace-analyze --prof)\n"
+               "  --prof-shift N     read counters every 2^N-th phase boundary\n"
+               "                     (default 4)\n"
+               "  --prof-backend B   auto (default; perf_event -> rusage -> noop),\n"
+               "                     or force perf | rusage | noop\n"
+               "  --folded FILE      sampled on-CPU profile as folded stacks\n"
+               "                     (flamegraph.pl compatible)\n"
+               "  --prof-period-us U stack sampling period (default 1000)\n"
+               "  trace-analyze --prof FILE [--spans FILE]\n"
+               "                     re-print a prof dump's attribution tables;\n"
+               "                     with --spans, join phase counters against the\n"
+               "                     write-path stage percentiles\n"
+               "  bench-compare      diff two remo-bench-1 reports metric-by-metric\n"
+               "                     with %% deltas; exit 1 when a gated metric\n"
+               "                     (default: events_per_second at 3%%) regresses;\n"
+               "                     refuses differing config blocks unless --force\n"
                "\n"
                "live telemetry (sampled every --metrics-period ms, default 100):\n"
                "  --watch            refreshing one-line-per-rank live view of the\n"
@@ -232,6 +267,62 @@ int cmd_stats(const Args& a) {
   return 0;
 }
 
+// --- Hardware-counter profiling (docs/OBSERVABILITY.md "Profiling") --------
+
+/// Fold the --prof* flags into the engine config. Asking for any prof
+/// output implies --prof.
+void apply_prof_args(const Args& a, EngineConfig& cfg) {
+  const bool want = a.flag("prof") || !a.str("prof-out").empty() ||
+                    !a.str("folded").empty();
+  if (!want) return;
+  cfg.obs.prof = true;
+  cfg.obs.prof_sample_shift = static_cast<std::uint32_t>(
+      a.num("prof-shift", cfg.obs.prof_sample_shift));
+  const std::string backend = a.str("prof-backend", "auto");
+  if (backend == "perf" || backend == "perf_event")
+    cfg.obs.prof_backend = obs::ProfBackendKind::kPerfEvent;
+  else if (backend == "rusage")
+    cfg.obs.prof_backend = obs::ProfBackendKind::kRusage;
+  else if (backend == "noop" || backend == "none")
+    cfg.obs.prof_backend = obs::ProfBackendKind::kNoop;
+  if (!a.str("folded").empty()) {
+    cfg.obs.prof_stacks = true;
+    cfg.obs.prof_stack_period_us = static_cast<std::uint32_t>(
+        a.num("prof-period-us", cfg.obs.prof_stack_period_us));
+  }
+}
+
+/// Print the attribution tables and write the requested artefacts after a
+/// run. Returns nonzero only on a write failure (degraded backends print a
+/// banner but exit clean — CI containers without perf access must pass).
+int report_prof(const Args& a, Engine& engine) {
+  if (!engine.prof_enabled()) return 0;
+  std::fputs(obs::format_prof_report(engine.prof_snapshot()).c_str(), stdout);
+  if (const std::string out = a.str("prof-out"); !out.empty()) {
+    if (!engine.write_prof(out)) {
+      std::fprintf(stderr, "failed to write prof counters to %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("prof counters written to %s (analyze with `remo "
+                "trace-analyze --prof %s`)\n", out.c_str(), out.c_str());
+  }
+  if (const std::string folded = a.str("folded"); !folded.empty()) {
+    if (!obs::StackSampler::supported() || engine.stack_sampler() == nullptr) {
+      std::fprintf(stderr,
+                   "stack sampling unavailable on this platform; no folded "
+                   "output written\n");
+    } else if (!engine.write_folded(folded)) {
+      std::fprintf(stderr, "failed to write folded stacks to %s\n",
+                   folded.c_str());
+      return 1;
+    } else {
+      std::printf("folded stacks written to %s (flamegraph.pl %s > prof.svg)\n",
+                  folded.c_str(), folded.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_ingest(const Args& a) {
   const std::string path = a.str("graph");
   if (path.empty()) return usage();
@@ -253,6 +344,7 @@ int cmd_ingest(const Args& a) {
   cfg.obs.lineage = a.flag("lineage") || !lineage_out.empty();
   cfg.obs.lineage_sample_shift = static_cast<std::uint32_t>(
       a.num("lineage-sample", cfg.obs.lineage_sample_shift));
+  apply_prof_args(a, cfg);
   Engine engine(cfg);
 
   const std::string algo = a.str("algo", "none");
@@ -430,6 +522,7 @@ int cmd_ingest(const Args& a) {
                   lineage_out.c_str(), lineage_out.c_str());
     }
   }
+  if (const int rc = report_prof(a, engine); rc != 0) return rc;
   return 0;
 }
 
@@ -455,6 +548,7 @@ int cmd_serve(const Args& a) {
   cfg.num_ranks = static_cast<RankId>(a.num("ranks", 4));
   if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
   cfg.obs.trace = !trace_path.empty();
+  apply_prof_args(a, cfg);
   Engine engine(cfg);
 
   std::unique_ptr<obs::SpanRecorder> spans;
@@ -634,6 +728,8 @@ int cmd_serve(const Args& a) {
                 spans_out.c_str(), spans_out.c_str());
   }
 
+  if (const int rc = report_prof(a, engine); rc != 0) return rc;
+
   if (const std::string stats_json = a.str("stats-json"); !stats_json.empty()) {
     // The engine's remo-stats-1 document, decorated with the serving plane.
     Json doc = engine.metrics_snapshot().to_json();
@@ -790,7 +886,39 @@ int analyze_spans(const Args& a, const std::string& path) {
   return 0;
 }
 
+// Hardware-counter analysis: re-print a remo-prof-1 dump's per-rank x
+// per-phase attribution tables; with --spans, join the phase counters
+// against the write path's per-stage percentiles (the "where do the cycles
+// go" view in docs/OBSERVABILITY.md).
+int analyze_prof(const Args& a, const std::string& path) {
+  Json doc;
+  if (!load_json_file(path, doc)) return 1;
+  std::string error;
+  obs::ProfSnapshot snap;
+  if (!obs::ProfSnapshot::from_json(doc, snap, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  obs::SpanSnapshot spans;
+  bool have_spans = false;
+  if (const std::string spans_path = a.str("spans"); !spans_path.empty()) {
+    Json sdoc;
+    if (!load_json_file(spans_path, sdoc)) return 1;
+    if (!obs::SpanSnapshot::from_json(sdoc, spans, &error)) {
+      std::fprintf(stderr, "%s: %s\n", spans_path.c_str(), error.c_str());
+      return 1;
+    }
+    have_spans = true;
+  }
+  std::fputs(
+      obs::format_prof_report(snap, have_spans ? &spans : nullptr).c_str(),
+      stdout);
+  return 0;
+}
+
 int cmd_trace_analyze(const Args& a) {
+  if (const std::string prof_path = a.str("prof"); !prof_path.empty())
+    return analyze_prof(a, prof_path);
   if (const std::string spans_path = a.str("spans"); !spans_path.empty())
     return analyze_spans(a, spans_path);
   const std::string path = a.str("lineage");
@@ -824,6 +952,55 @@ int cmd_trace_analyze(const Args& a) {
                 snap.records.size(), static_cast<unsigned long long>(min_desc));
   }
   return 0;
+}
+
+// --- Bench regression gate (docs/OBSERVABILITY.md "Profiling") -------------
+
+// Parses raw argv: the two report paths are positional, which the Args
+// map cannot represent, and --gate repeats.
+int cmd_bench_compare(int argc, char** argv) {
+  obs::BenchCompareOptions opts;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--force") {
+      opts.force = true;
+    } else if (arg == "--gate" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      double pct = -1;
+      if (eq != std::string::npos)
+        pct = std::strtod(spec.c_str() + eq + 1, nullptr);
+      if (eq == std::string::npos || eq == 0 || !(pct >= 0)) {
+        std::fprintf(stderr,
+                     "--gate wants METRIC=PCT (e.g. events_per_second=3)\n");
+        return 2;
+      }
+      opts.gates[spec.substr(0, eq)] = pct;
+    } else if (arg == "--gate-pct" && i + 1 < argc) {
+      const double pct = std::strtod(argv[++i], nullptr);
+      if (!(pct >= 0)) {
+        std::fprintf(stderr, "--gate-pct wants a non-negative percentage\n");
+        return 2;
+      }
+      opts.default_gate_pct = pct;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench-compare: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr, "bench-compare wants exactly two BENCH_*.json paths\n");
+    return usage();
+  }
+  Json doc_a, doc_b;
+  if (!load_json_file(paths[0], doc_a) || !load_json_file(paths[1], doc_b))
+    return 1;
+  const obs::BenchCompareResult res = obs::bench_compare(doc_a, doc_b, opts);
+  std::fputs(obs::format_bench_compare(res).c_str(), stdout);
+  return res.ok() ? 0 : 1;
 }
 
 // --- Differential fuzzing (docs/TESTING.md) --------------------------------
@@ -950,12 +1127,17 @@ int cmd_fuzz_repro(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args a = parse(argc, argv);
+  Args a = parse(argc, argv);
   if (a.command == "generate") return cmd_generate(a);
   if (a.command == "stats") return cmd_stats(a);
   if (a.command == "ingest") return cmd_ingest(a);
+  if (a.command == "prof") {  // ingest with profiling forced on
+    a.kv["--prof"] = "1";
+    return cmd_ingest(a);
+  }
   if (a.command == "serve") return cmd_serve(a);
   if (a.command == "trace-analyze") return cmd_trace_analyze(a);
+  if (a.command == "bench-compare") return cmd_bench_compare(argc, argv);
   if (a.command == "fuzz") return cmd_fuzz(a);
   if (a.command == "fuzz-repro") return cmd_fuzz_repro(a);
   return usage();
