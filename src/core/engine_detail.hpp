@@ -144,7 +144,8 @@ struct RankRuntime {
   std::vector<MergeSlot> merge_slots;
   std::uint32_t merge_stamp = 0;
 
-  explicit RankRuntime(StoreConfig store_cfg) : store(store_cfg) {}
+  explicit RankRuntime(StoreConfig store_cfg, Arena* arena = nullptr)
+      : store(store_cfg, arena) {}
 
   /// Route a visitor to the owner of its target vertex. Taken by value:
   /// when lineage tracing is on, visitors emitted while a caused visitor

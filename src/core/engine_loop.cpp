@@ -455,6 +455,11 @@ void Engine::absorb_pending_triggers(detail::RankRuntime& rt) {
 
 void Engine::rank_main(RankId r) {
   detail::RankRuntime& rt = *ranks_[r];
+  // Apply the pin plan before any allocation or counter attach: first-touch
+  // placement of thread-local state should happen on the planned core, and
+  // perf counter fds inherit this thread's CPU affinity.
+  if (cfg_.pinning != PinningMode::kNone)
+    pin_current_thread(memory_plane_.plan().slots[r].cpu);
   std::vector<Visitor> batch;
   std::uint32_t passive_streak = 0;  // consecutive no-work iterations
   // Loop-pacing RNG (chaos delays). By default a fixed per-rank seed; the

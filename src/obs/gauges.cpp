@@ -72,10 +72,15 @@ Json GaugeSample::to_json(bool include_per_rank) const {
       ph["llc_misses"] = c[ProfCounter::kLlcMisses];
       ph["branch_misses"] = c[ProfCounter::kBranchMisses];
       ph["stalled_cycles"] = c[ProfCounter::kStalledCycles];
+      ph["dtlb_loads"] = c[ProfCounter::kDtlbLoads];
+      ph["dtlb_misses"] = c[ProfCounter::kDtlbMisses];
+      ph["minor_faults"] = c[ProfCounter::kMinorFaults];
+      ph["major_faults"] = c[ProfCounter::kMajorFaults];
       ph["task_clock_ns"] = c[ProfCounter::kTaskClockNs];
       ph["attributed_ns"] = prof.attributed_ns[i];
       ph["ipc"] = prof_ipc(c);
       ph["llc_miss_rate"] = prof_llc_miss_rate(c);
+      ph["dtlb_miss_rate"] = prof_dtlb_miss_rate(c);
       phases[phase_name(static_cast<Phase>(i))] = std::move(ph);
     }
     p["phases"] = std::move(phases);
@@ -286,10 +291,20 @@ std::string GaugeSample::to_prometheus() const {
              "counter");
     w.header("remo_prof_stalled_cycles_total",
              "Backend-stalled cycles per phase", "counter");
+    w.header("remo_prof_dtlb_loads_total", "dTLB read accesses per phase",
+             "counter");
+    w.header("remo_prof_dtlb_misses_total", "dTLB read misses per phase",
+             "counter");
+    w.header("remo_prof_minor_faults_total",
+             "Minor page faults attributed per phase", "counter");
+    w.header("remo_prof_major_faults_total",
+             "Major page faults attributed per phase", "counter");
     w.header("remo_prof_task_clock_seconds_total",
              "On-CPU time attributed per phase", "counter");
     w.header("remo_prof_ipc", "Instructions per cycle per phase", "gauge");
     w.header("remo_prof_llc_miss_rate", "LLC read miss rate per phase",
+             "gauge");
+    w.header("remo_prof_dtlb_miss_rate", "dTLB read miss rate per phase",
              "gauge");
     for (std::size_t i = 0; i < kPhaseCount; ++i) {
       const char* ph = phase_name(static_cast<Phase>(i));
@@ -306,11 +321,21 @@ std::string GaugeSample::to_prometheus() const {
                  c[ProfCounter::kBranchMisses]);
       w.labelled("remo_prof_stalled_cycles_total", "phase", ph,
                  c[ProfCounter::kStalledCycles]);
+      w.labelled("remo_prof_dtlb_loads_total", "phase", ph,
+                 c[ProfCounter::kDtlbLoads]);
+      w.labelled("remo_prof_dtlb_misses_total", "phase", ph,
+                 c[ProfCounter::kDtlbMisses]);
+      w.labelled("remo_prof_minor_faults_total", "phase", ph,
+                 c[ProfCounter::kMinorFaults]);
+      w.labelled("remo_prof_major_faults_total", "phase", ph,
+                 c[ProfCounter::kMajorFaults]);
       w.labelled("remo_prof_task_clock_seconds_total", "phase", ph,
                  static_cast<double>(c[ProfCounter::kTaskClockNs]) / 1e9);
       w.labelled("remo_prof_ipc", "phase", ph, prof_ipc(c));
       w.labelled("remo_prof_llc_miss_rate", "phase", ph,
                  prof_llc_miss_rate(c));
+      w.labelled("remo_prof_dtlb_miss_rate", "phase", ph,
+                 prof_dtlb_miss_rate(c));
     }
   }
   return w.str();

@@ -53,6 +53,14 @@ const char* prof_counter_name(ProfCounter c) noexcept {
       return "branch_misses";
     case ProfCounter::kStalledCycles:
       return "stalled_cycles";
+    case ProfCounter::kDtlbLoads:
+      return "dtlb_loads";
+    case ProfCounter::kDtlbMisses:
+      return "dtlb_misses";
+    case ProfCounter::kMinorFaults:
+      return "minor_faults";
+    case ProfCounter::kMajorFaults:
+      return "major_faults";
     case ProfCounter::kTaskClockNs:
       return "task_clock_ns";
   }
@@ -89,30 +97,49 @@ struct PerfDesc {
   ProfCounter counter;
   std::uint32_t type;
   std::uint64_t config;
+  int group;  ///< counters are scheduled per group; leaders are the first
+              ///< desc of each group
 };
 
 constexpr std::uint64_t kLlcRead =
     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8);
+constexpr std::uint64_t kDtlbRead =
+    PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8);
 
-// Leader first: the cycles counter anchors the group, members that fail to
-// open (virtualised PMUs routinely lack stalled-cycles or LLC events) are
-// dropped individually.
+// Leader first within each group: the group-0 cycles counter anchors the
+// original seven-event group; members that fail to open (virtualised PMUs
+// routinely lack stalled-cycles or LLC events) are dropped individually.
+// The dTLB pair (the huge-page A/B evidence) lives in a *second* group
+// with its own leader so it never overcommits group 0 — most PMUs schedule
+// 4-6 generic counters per group, and a too-big group silently multiplexes
+// or refuses members. The page-fault software events ride in group 1
+// (software counters always schedule).
 constexpr PerfDesc kPerfDescs[] = {
-    {ProfCounter::kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {ProfCounter::kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, 0},
     {ProfCounter::kInstructions, PERF_TYPE_HARDWARE,
-     PERF_COUNT_HW_INSTRUCTIONS},
+     PERF_COUNT_HW_INSTRUCTIONS, 0},
     {ProfCounter::kLlcLoads, PERF_TYPE_HW_CACHE,
-     kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)},
+     kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16), 0},
     {ProfCounter::kLlcMisses, PERF_TYPE_HW_CACHE,
-     kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+     kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_MISS << 16), 0},
     {ProfCounter::kBranchMisses, PERF_TYPE_HARDWARE,
-     PERF_COUNT_HW_BRANCH_MISSES},
+     PERF_COUNT_HW_BRANCH_MISSES, 0},
     {ProfCounter::kStalledCycles, PERF_TYPE_HARDWARE,
-     PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
-    {ProfCounter::kTaskClockNs, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND, 0},
+    {ProfCounter::kTaskClockNs, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK,
+     0},
+    {ProfCounter::kDtlbLoads, PERF_TYPE_HW_CACHE,
+     kDtlbRead | (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16), 1},
+    {ProfCounter::kDtlbMisses, PERF_TYPE_HW_CACHE,
+     kDtlbRead | (PERF_COUNT_HW_CACHE_RESULT_MISS << 16), 1},
+    {ProfCounter::kMinorFaults, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_PAGE_FAULTS_MIN, 1},
+    {ProfCounter::kMajorFaults, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_PAGE_FAULTS_MAJ, 1},
 };
 constexpr std::size_t kPerfDescCount =
     sizeof(kPerfDescs) / sizeof(kPerfDescs[0]);
+constexpr int kPerfGroupCount = 2;
 
 perf_event_attr make_attr(const PerfDesc& d, bool leader) {
   perf_event_attr attr{};
@@ -131,50 +158,65 @@ perf_event_attr make_attr(const PerfDesc& d, bool leader) {
 class PerfEventBackend final : public CounterBackend {
  public:
   ~PerfEventBackend() override {
-    for (const auto& m : members_) close(m.fd);
+    for (const auto& g : groups_)
+      for (const auto& m : g.members) close(m.fd);
   }
 
   const char* name() const noexcept override { return "perf_event"; }
   std::uint32_t available() const noexcept override { return available_; }
 
   bool open() override {
-    if (!members_.empty()) return true;  // already open
-    perf_event_attr leader_attr = make_attr(kPerfDescs[0], /*leader=*/true);
-    const int leader =
-        static_cast<int>(perf_event_open_raw(&leader_attr, 0, -1, -1, 0));
-    if (leader < 0) return false;
-    add_member(kPerfDescs[0].counter, leader);
-    for (std::size_t i = 1; i < kPerfDescCount; ++i) {
-      perf_event_attr attr = make_attr(kPerfDescs[i], /*leader=*/false);
-      const int fd =
-          static_cast<int>(perf_event_open_raw(&attr, 0, -1, leader, 0));
-      if (fd >= 0) add_member(kPerfDescs[i].counter, fd);
+    if (!groups_.empty()) return true;  // already open
+    for (int gi = 0; gi < kPerfGroupCount; ++gi) {
+      Group group;
+      for (std::size_t i = 0; i < kPerfDescCount; ++i) {
+        if (kPerfDescs[i].group != gi) continue;
+        const bool leader = group.members.empty();
+        perf_event_attr attr = make_attr(kPerfDescs[i], leader);
+        const int fd = static_cast<int>(perf_event_open_raw(
+            &attr, 0, -1, leader ? -1 : group.members.front().fd, 0));
+        if (fd < 0) {
+          // A failed leader drops the whole group (e.g. no dTLB events on
+          // this PMU); a failed member is dropped individually.
+          if (leader) break;
+          continue;
+        }
+        add_member(group, kPerfDescs[i].counter, fd);
+      }
+      if (group.members.empty()) continue;
+      ioctl(group.members.front().fd, PERF_EVENT_IOC_RESET,
+            PERF_IOC_FLAG_GROUP);
+      ioctl(group.members.front().fd, PERF_EVENT_IOC_ENABLE,
+            PERF_IOC_FLAG_GROUP);
+      groups_.push_back(std::move(group));
     }
-    ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
-    ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
-    return true;
+    return !groups_.empty();
   }
 
   bool read(CounterSet& out) override {
-    if (members_.empty()) return false;
-    // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
-    //   u64 nr; { u64 value; u64 id; } values[nr];
-    std::uint64_t buf[1 + 2 * kPerfDescCount];
-    const ssize_t want =
-        static_cast<ssize_t>((1 + 2 * members_.size()) * sizeof(std::uint64_t));
-    const ssize_t got = ::read(members_.front().fd, buf, sizeof(buf));
-    if (got < want) return false;
-    const std::uint64_t nr = buf[0];
-    for (std::uint64_t i = 0; i < nr; ++i) {
-      const std::uint64_t value = buf[1 + 2 * i];
-      const std::uint64_t id = buf[2 + 2 * i];
-      for (const auto& m : members_)
-        if (m.id == id) {
-          out[m.counter] = value;
-          break;
-        }
+    if (groups_.empty()) return false;
+    bool any = false;
+    for (const auto& g : groups_) {
+      // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
+      //   u64 nr; { u64 value; u64 id; } values[nr];
+      std::uint64_t buf[1 + 2 * kPerfDescCount];
+      const ssize_t want = static_cast<ssize_t>(
+          (1 + 2 * g.members.size()) * sizeof(std::uint64_t));
+      const ssize_t got = ::read(g.members.front().fd, buf, sizeof(buf));
+      if (got < want) continue;
+      const std::uint64_t nr = buf[0];
+      for (std::uint64_t i = 0; i < nr; ++i) {
+        const std::uint64_t value = buf[1 + 2 * i];
+        const std::uint64_t id = buf[2 + 2 * i];
+        for (const auto& m : g.members)
+          if (m.id == id) {
+            out[m.counter] = value;
+            break;
+          }
+      }
+      any = true;
     }
-    return true;
+    return any;
   }
 
  private:
@@ -183,15 +225,18 @@ class PerfEventBackend final : public CounterBackend {
     int fd;
     std::uint64_t id;
   };
+  struct Group {
+    std::vector<Member> members;  // front() is the leader
+  };
 
-  void add_member(ProfCounter c, int fd) {
+  void add_member(Group& g, ProfCounter c, int fd) {
     std::uint64_t id = 0;
     ioctl(fd, PERF_EVENT_IOC_ID, &id);
-    members_.push_back(Member{c, fd, id});
+    g.members.push_back(Member{c, fd, id});
     available_ |= prof_counter_bit(c);
   }
 
-  std::vector<Member> members_;
+  std::vector<Group> groups_;
   std::uint32_t available_ = 0;
 };
 
@@ -225,7 +270,13 @@ class RusageBackend final : public CounterBackend {
   const char* name() const noexcept override { return "rusage"; }
   std::uint32_t available() const noexcept override {
 #ifdef __linux__
-    return prof_counter_bit(ProfCounter::kTaskClockNs);
+    // Task-clock plus the per-thread fault counters: on PMU-less hosts
+    // (every CI container) the minor-fault rate is the locality evidence
+    // the dTLB counters would otherwise carry — THP-backed arenas cut it
+    // by ~512x on touched memory.
+    return prof_counter_bit(ProfCounter::kTaskClockNs) |
+           prof_counter_bit(ProfCounter::kMinorFaults) |
+           prof_counter_bit(ProfCounter::kMajorFaults);
 #else
     return 0;
 #endif
@@ -242,6 +293,8 @@ class RusageBackend final : public CounterBackend {
     if (getrusage(RUSAGE_THREAD, &ru) != 0) return false;
     out[ProfCounter::kTaskClockNs] =
         timeval_ns(ru.ru_utime) + timeval_ns(ru.ru_stime);
+    out[ProfCounter::kMinorFaults] = static_cast<std::uint64_t>(ru.ru_minflt);
+    out[ProfCounter::kMajorFaults] = static_cast<std::uint64_t>(ru.ru_majflt);
     return true;
 #else
     return false;
@@ -369,6 +422,13 @@ double prof_stalled_frac(const CounterSet& c) noexcept {
              : 0.0;
 }
 
+double prof_dtlb_miss_rate(const CounterSet& c) noexcept {
+  const auto loads = c[ProfCounter::kDtlbLoads];
+  return loads ? static_cast<double>(c[ProfCounter::kDtlbMisses]) /
+                     static_cast<double>(loads)
+               : 0.0;
+}
+
 namespace {
 
 Json phase_block_json(const CounterSet& c, std::uint64_t attributed_ns) {
@@ -378,6 +438,7 @@ Json phase_block_json(const CounterSet& c, std::uint64_t attributed_ns) {
   b["attributed_ns"] = attributed_ns;
   b["ipc"] = prof_ipc(c);
   b["llc_miss_rate"] = prof_llc_miss_rate(c);
+  b["dtlb_miss_rate"] = prof_dtlb_miss_rate(c);
   return b;
 }
 
@@ -831,29 +892,40 @@ namespace {
 
 std::string prof_table(const RankProfSnapshot& r, std::uint32_t available) {
   const bool hw = (available & prof_counter_bit(ProfCounter::kCycles)) != 0;
+  const bool dtlb =
+      (available & prof_counter_bit(ProfCounter::kDtlbLoads)) != 0;
   std::string out;
-  out += strfmt("  %-14s %10s %12s %12s %6s %10s %7s %6s %7s\n", "phase",
+  out += strfmt("  %-14s %10s %12s %12s %6s %10s %7s %6s %7s %7s\n", "phase",
                 "attr_ms", "cycles_k", "instr_k", "ipc", "llc_ld_k", "miss%",
-                "stall%", "brm/ki");
+                "stall%", "brm/ki", "dtlb%");
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     const CounterSet& c = r.phase[i];
     const double attr_ms =
         static_cast<double>(r.attributed_ns[i]) / 1e6;
     if (hw) {
       out += strfmt(
-          "  %-14s %10.1f %12.0f %12.0f %6.2f %10.0f %6.1f%% %5.1f%% %7.2f\n",
+          "  %-14s %10.1f %12.0f %12.0f %6.2f %10.0f %6.1f%% %5.1f%% %7.2f",
           phase_name(static_cast<Phase>(i)), attr_ms,
           static_cast<double>(c[ProfCounter::kCycles]) / 1e3,
           static_cast<double>(c[ProfCounter::kInstructions]) / 1e3,
           prof_ipc(c), static_cast<double>(c[ProfCounter::kLlcLoads]) / 1e3,
           100.0 * prof_llc_miss_rate(c), 100.0 * prof_stalled_frac(c),
           prof_branch_miss_per_kinst(c));
+      if (dtlb)
+        out += strfmt(" %6.2f%%\n", 100.0 * prof_dtlb_miss_rate(c));
+      else
+        out += strfmt(" %7s\n", "-");
     } else {
-      out += strfmt("  %-14s %10.1f %12s %12s %6s %10s %7s %6s %7s",
+      out += strfmt("  %-14s %10.1f %12s %12s %6s %10s %7s %6s %7s %7s",
                     phase_name(static_cast<Phase>(i)), attr_ms, "-", "-", "-",
-                    "-", "-", "-", "-");
-      out += strfmt("   task_clock_ms=%.1f\n",
-                    static_cast<double>(c[ProfCounter::kTaskClockNs]) / 1e6);
+                    "-", "-", "-", "-", "-");
+      // The rusage fallback still carries measured locality evidence: the
+      // thread's task-clock and its page-fault counters.
+      out += strfmt("   task_clock_ms=%.1f minflt=%" PRIu64 " majflt=%" PRIu64
+                    "\n",
+                    static_cast<double>(c[ProfCounter::kTaskClockNs]) / 1e6,
+                    c[ProfCounter::kMinorFaults],
+                    c[ProfCounter::kMajorFaults]);
     }
   }
   return out;

@@ -58,9 +58,13 @@ enum class ProfCounter : std::uint8_t {
   kLlcMisses,
   kBranchMisses,
   kStalledCycles,
-  kTaskClockNs,  ///< software counter; nanoseconds on-CPU
+  kDtlbLoads,     ///< dTLB load accesses (the huge-page A/B evidence pair)
+  kDtlbMisses,    ///< dTLB load misses
+  kMinorFaults,   ///< software counter; also fed by the rusage fallback
+  kMajorFaults,   ///< software counter; also fed by the rusage fallback
+  kTaskClockNs,   ///< software counter; nanoseconds on-CPU
 };
-inline constexpr std::size_t kProfCounterCount = 7;
+inline constexpr std::size_t kProfCounterCount = 11;
 
 const char* prof_counter_name(ProfCounter c) noexcept;
 
@@ -195,6 +199,7 @@ double prof_ipc(const CounterSet& c) noexcept;
 double prof_llc_miss_rate(const CounterSet& c) noexcept;
 double prof_branch_miss_per_kinst(const CounterSet& c) noexcept;
 double prof_stalled_frac(const CounterSet& c) noexcept;
+double prof_dtlb_miss_rate(const CounterSet& c) noexcept;
 
 /// Per-rank counter-group owner. Single-writer (the owning rank thread)
 /// for on_phase(); accumulators are relaxed atomics so snapshot() can run

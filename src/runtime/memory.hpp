@@ -1,0 +1,223 @@
+// Locality-aware memory plane: huge-page-backed bump arenas with NUMA
+// binding, and the per-rank plumbing that hands each rank's storage shard
+// and mailbox rings an allocation handle.
+//
+// Backing tiers (strongest first), each attempted per chunk:
+//   1. mmap(MAP_HUGETLB)        — explicit 2 MiB pages (needs nr_hugepages)
+//   2. mmap + madvise(HUGEPAGE) — transparent huge pages (THP "madvise" mode)
+//   3. plain anonymous mmap     — 4 KiB pages
+//   4. operator new             — non-Linux / mmap-refused fallback
+// Degradation below the requested tier is *explicit*: MemoryPlane prints a
+// one-time banner and records the achieved tier in its JSON block — never
+// silent (DESIGN.md "Memory & locality").
+//
+// Arenas are chunked bump allocators with power-of-two size-class free
+// lists: deallocate returns a block to its class for reuse, so the
+// vector-growth / rehash churn of the ingest hot path recycles cache-hot,
+// node-local buffers instead of bumping through cold pages forever (the
+// heap gets this reuse from malloc; without it, arenas lose ~10% on
+// single-node hosts). Chunk memory returns to the OS only at arena
+// destruction. The engine therefore destroys its MemoryPlane *after*
+// every container that holds arena memory (member order in Engine).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "runtime/topology.hpp"
+
+namespace remo {
+
+/// Page backing a chunk ended up with (tier actually achieved).
+enum class PageBacking : std::uint8_t {
+  kExplicitHuge,  ///< mmap(MAP_HUGETLB) succeeded
+  kThp,           ///< plain mmap + madvise(MADV_HUGEPAGE) accepted
+  kPlain,         ///< plain mmap, no huge-page hint honoured
+  kHeap,          ///< operator new (mmap unavailable)
+};
+
+const char* page_backing_name(PageBacking backing);
+
+struct ArenaConfig {
+  /// Chunk reservation size. A multiple of 2 MiB so the MAP_HUGETLB tier
+  /// never fails on length alignment alone.
+  std::size_t chunk_bytes = std::size_t{8} << 20;
+  /// NUMA node to mbind fresh chunks to (-1: first-touch / no binding).
+  int numa_node = -1;
+  /// Try the huge-page tiers; false jumps straight to plain pages.
+  bool use_huge_pages = true;
+};
+
+/// Thread-safe bump allocator over mmap'd chunks with power-of-two
+/// size-class free lists. Grows by mapping a new chunk on exhaustion;
+/// oversized requests get a dedicated chunk. Freed class-sized blocks are
+/// recycled (intrusive per-class lists, so reuse stays on the arena's NUMA
+/// node); chunk memory is unmapped only at destruction.
+class Arena {
+ public:
+  explicit Arena(ArenaConfig cfg);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Aligned allocation; never returns nullptr (operator-new tier throws
+  /// std::bad_alloc like the heap would). `align` must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Returns class-eligible blocks (<= 64 MiB, align <= 4 KiB) to the
+  /// matching free list for reuse; anything else stays resident until
+  /// arena destruction (bump semantics). Pass the same size/alignment the
+  /// block was allocated with, as std::allocator_traits guarantees.
+  void deallocate(void* p, std::size_t bytes,
+                  std::size_t align = alignof(std::max_align_t)) noexcept;
+
+  /// Weakest backing tier any chunk landed on (the honest number to
+  /// report: one plain-page chunk among huge ones still means TLB misses).
+  PageBacking backing() const;
+
+  /// Cumulative bytes handed out (class-rounded; reuse from a free list
+  /// counts again — this is allocation traffic, not live bytes).
+  std::size_t allocated_bytes() const;
+  std::size_t reserved_bytes() const;  ///< bytes mapped in chunks
+  int numa_node() const { return cfg_.numa_node; }
+
+ private:
+  struct Chunk {
+    void* base = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+    PageBacking backing = PageBacking::kHeap;
+  };
+
+  // Free-list size classes: powers of two from 8 B (room for the
+  // intrusive next pointer) to 64 MiB. Vector doubling and Robin Hood
+  // rehash both free exact power-of-two blocks, so classes fit snugly.
+  static constexpr std::size_t kMinClassLog2 = 3;
+  static constexpr std::size_t kMaxClassLog2 = 26;
+  /// Size-class index for a (bytes, align) request, or 0 when the request
+  /// must take the raw bump path (huge or over-aligned).
+  static std::size_t class_log2(std::size_t bytes, std::size_t align);
+
+  Chunk map_chunk(std::size_t bytes);
+  void unmap_chunk(Chunk& chunk) noexcept;
+
+  ArenaConfig cfg_;
+  mutable std::mutex mutex_;
+  std::vector<Chunk> chunks_;
+  void* free_lists_[kMaxClassLog2 + 1] = {};
+  std::size_t allocated_ = 0;
+  PageBacking worst_backing_ = PageBacking::kExplicitHuge;
+  bool any_chunk_ = false;
+};
+
+/// Std-compatible allocator carrying an optional Arena. Null arena ==
+/// plain heap (the default everywhere, so existing behaviour is
+/// unchanged). Propagates on move/copy/swap so container moves — e.g.
+/// RobinHoodMap::rehash's move-then-assign — stay O(1) pointer steals.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_)
+      return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    return static_cast<T*>(
+        ::operator new(bytes, std::align_val_t{alignof(T)}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (arena_) {
+      arena_->deallocate(p, n * sizeof(T), alignof(T));
+      return;
+    }
+    ::operator delete(p, n * sizeof(T), std::align_val_t{alignof(T)});
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// Memory-plane knobs (EngineConfig::memory). Everything defaults off so
+/// a default-constructed engine allocates exactly as before.
+struct MemoryConfig {
+  /// Give each rank's storage shard and inbound mailbox rings a
+  /// node-bound arena instead of the global heap.
+  bool arenas = false;
+  /// Attempt the huge-page tiers (explicit, then THP) for arena chunks.
+  bool huge_pages = true;
+  /// Arena chunk reservation size (multiple of 2 MiB recommended).
+  std::size_t arena_chunk_bytes = std::size_t{8} << 20;
+  /// mbind arena chunks to the owning rank's NUMA node (no-op on
+  /// single-node hosts; first-touch still applies).
+  bool numa_bind = true;
+};
+
+/// Owns the topology snapshot, the rank pin plan, and (when enabled) one
+/// arena per rank bound to that rank's planned node. Constructed by the
+/// engine before any rank state so arenas outlive every container.
+class MemoryPlane {
+ public:
+  MemoryPlane(const MemoryConfig& cfg, PinningMode pinning, RankId num_ranks);
+
+  /// The rank's arena, or nullptr when arenas are off (heap behaviour).
+  Arena* rank_arena(RankId r) const;
+
+  const Topology& topology() const { return topo_; }
+  const PinPlan& plan() const { return plan_; }
+  PinningMode pinning() const { return pinning_; }
+  const MemoryConfig& config() const { return cfg_; }
+
+  /// True when anything fell below what was asked for: topology fallback,
+  /// pin-plan wrap, or a backing tier weaker than requested.
+  bool degraded() const;
+  /// Human-readable reasons, one per line (empty when !degraded()).
+  std::string degradation_note() const;
+
+  /// Print the degradation banner to stderr, once per plane. No output
+  /// when nothing degraded or nothing was requested.
+  void print_banner_once();
+
+  /// Self-describing block for BENCH reports / stats JSON: pinning mode,
+  /// arena state, achieved backing, per-rank node map, degradation note.
+  Json to_json() const;
+
+ private:
+  MemoryConfig cfg_;
+  PinningMode pinning_;
+  Topology topo_;
+  PinPlan plan_;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  bool banner_printed_ = false;
+};
+
+}  // namespace remo

@@ -1,0 +1,231 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/strfmt.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace remo {
+
+namespace {
+
+/// Read a whole (small) sysfs file; empty string when unreadable.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+const char* pinning_mode_name(PinningMode mode) {
+  switch (mode) {
+    case PinningMode::kNone: return "none";
+    case PinningMode::kCompact: return "compact";
+    case PinningMode::kScatter: return "scatter";
+    case PinningMode::kNumaSpread: return "numa-spread";
+  }
+  return "none";
+}
+
+bool parse_pinning_mode(const std::string& name, PinningMode* out) {
+  if (name == "none") *out = PinningMode::kNone;
+  else if (name == "compact") *out = PinningMode::kCompact;
+  else if (name == "scatter") *out = PinningMode::kScatter;
+  else if (name == "numa-spread" || name == "numa_spread")
+    *out = PinningMode::kNumaSpread;
+  else
+    return false;
+  return true;
+}
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+  std::vector<int> cpus;
+  std::istringstream in(text);
+  std::string chunk;
+  while (std::getline(in, chunk, ',')) {
+    // Trim whitespace (sysfs files end with '\n').
+    const auto b = chunk.find_first_not_of(" \t\n\r");
+    if (b == std::string::npos) continue;
+    const auto e = chunk.find_last_not_of(" \t\n\r");
+    chunk = chunk.substr(b, e - b + 1);
+    const auto dash = chunk.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long v = std::strtol(chunk.c_str(), &end, 10);
+      if (end == chunk.c_str() || *end != '\0' || v < 0) continue;
+      cpus.push_back(static_cast<int>(v));
+    } else {
+      const std::string lo_s = chunk.substr(0, dash);
+      const std::string hi_s = chunk.substr(dash + 1);
+      const long lo = std::strtol(lo_s.c_str(), &end, 10);
+      if (end == lo_s.c_str() || *end != '\0' || lo < 0) continue;
+      const long hi = std::strtol(hi_s.c_str(), &end, 10);
+      if (end == hi_s.c_str() || *end != '\0' || hi < lo) continue;
+      for (long v = lo; v <= hi; ++v) cpus.push_back(static_cast<int>(v));
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+int Topology::num_cpus() const {
+  int n = 0;
+  for (const TopologyNode& node : nodes) n += static_cast<int>(node.cpus.size());
+  return n;
+}
+
+int Topology::node_of_cpu(int cpu) const {
+  for (const TopologyNode& node : nodes)
+    if (std::binary_search(node.cpus.begin(), node.cpus.end(), cpu))
+      return node.id;
+  return -1;
+}
+
+Topology Topology::fallback(int ncpus, std::string why) {
+  Topology topo;
+  topo.degraded = true;
+  topo.note = std::move(why);
+  TopologyNode node;
+  node.id = 0;
+  for (int c = 0; c < std::max(ncpus, 1); ++c) node.cpus.push_back(c);
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+Topology Topology::from_sysfs(const std::string& root) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const std::string online_nodes = slurp(root + "/devices/system/node/online");
+  if (online_nodes.empty())
+    return fallback(hw, "no NUMA sysfs tree at " + root +
+                            "/devices/system/node — single synthetic node");
+
+  const std::vector<int> node_ids = parse_cpu_list(online_nodes);
+  if (node_ids.empty())
+    return fallback(hw, "unparseable node/online list — single synthetic node");
+
+  // Offline CPUs must never appear in a pin plan: intersect each node's
+  // cpulist with the global online set (absent file == everything online).
+  std::set<int> online_cpus;
+  bool have_online = false;
+  if (const std::string s = slurp(root + "/devices/system/cpu/online");
+      !s.empty()) {
+    const std::vector<int> v = parse_cpu_list(s);
+    online_cpus.insert(v.begin(), v.end());
+    have_online = !v.empty();
+  }
+
+  Topology topo;
+  for (const int id : node_ids) {
+    const std::string cpulist =
+        slurp(root + "/devices/system/node/node" + std::to_string(id) +
+              "/cpulist");
+    TopologyNode node;
+    node.id = id;
+    for (const int cpu : parse_cpu_list(cpulist))
+      if (!have_online || online_cpus.count(cpu)) node.cpus.push_back(cpu);
+    // Memory-only nodes (no CPUs) still exist as arena targets.
+    topo.nodes.push_back(std::move(node));
+  }
+  if (topo.num_cpus() == 0)
+    return fallback(hw, "sysfs nodes listed no online CPUs — single synthetic "
+                        "node");
+  return topo;
+}
+
+Topology Topology::detect() {
+#if defined(__linux__)
+  return from_sysfs("/sys");
+#else
+  return fallback(static_cast<int>(std::thread::hardware_concurrency()),
+                  "non-Linux host — topology discovery unavailable");
+#endif
+}
+
+PinPlan plan_pinning(const Topology& topo, PinningMode mode, RankId num_ranks) {
+  PinPlan plan;
+  plan.slots.resize(num_ranks);
+  plan.degraded = topo.degraded;
+  plan.note = topo.note;
+
+  // Nodes that actually have CPUs, in id order; memory-only nodes cannot
+  // host a rank thread.
+  std::vector<const TopologyNode*> cpu_nodes;
+  for (const TopologyNode& n : topo.nodes)
+    if (!n.cpus.empty()) cpu_nodes.push_back(&n);
+  if (cpu_nodes.empty()) {
+    plan.degraded = true;
+    plan.note = "no CPUs discovered — all ranks unpinned";
+    return plan;
+  }
+
+  // Flatten into (cpu, node) pairs in the order the mode walks them.
+  std::vector<PinSlot> order;
+  switch (mode) {
+    case PinningMode::kNone:
+    case PinningMode::kCompact:
+      for (const TopologyNode* n : cpu_nodes)
+        for (const int cpu : n->cpus) order.push_back({cpu, n->id});
+      break;
+    case PinningMode::kScatter:
+    case PinningMode::kNumaSpread: {
+      // Round-robin across nodes; kNumaSpread is the same walk (each
+      // node's CPUs are visited in order, so same-node ranks get distinct
+      // cores before any repeats) — the two modes differ only once ranks
+      // exceed CPUs, where spread wraps per-node instead of globally.
+      std::vector<std::size_t> cursor(cpu_nodes.size(), 0);
+      bool any = true;
+      while (any) {
+        any = false;
+        for (std::size_t i = 0; i < cpu_nodes.size(); ++i) {
+          if (cursor[i] < cpu_nodes[i]->cpus.size()) {
+            order.push_back(
+                {cpu_nodes[i]->cpus[cursor[i]++], cpu_nodes[i]->id});
+            any = true;
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  for (RankId r = 0; r < num_ranks; ++r) {
+    const PinSlot& slot = order[r % order.size()];
+    plan.slots[r].node = slot.node;  // arena affinity even under kNone
+    if (mode != PinningMode::kNone) plan.slots[r].cpu = slot.cpu;
+  }
+  if (mode != PinningMode::kNone &&
+      static_cast<std::size_t>(num_ranks) > order.size()) {
+    plan.degraded = true;
+    plan.note = strfmt("%u ranks > %zu online CPUs — pin slots wrap",
+                       static_cast<unsigned>(num_ranks), order.size());
+  }
+  return plan;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace remo

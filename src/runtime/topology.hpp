@@ -1,0 +1,95 @@
+// CPU/NUMA topology discovery and rank-to-core pinning plans.
+//
+// Parsed directly from sysfs (no hwloc dependency): node ids from
+// /sys/devices/system/node/online, each node's CPU set from
+// node<k>/cpulist, intersected with /sys/devices/system/cpu/online so
+// offline CPUs never land in a pin plan. Hosts without a NUMA sysfs tree
+// (containers, non-Linux) degrade to a single synthetic node covering
+// every online CPU — callers see `degraded = true` plus a note, never a
+// silent fallback (DESIGN.md "Memory & locality").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace remo {
+
+/// How rank threads are placed on cores (EngineConfig::pinning).
+enum class PinningMode {
+  kNone,        ///< no affinity calls at all (default; inherit the scheduler)
+  kCompact,     ///< fill node 0's cores first, then node 1, ... (cache sharing)
+  kScatter,     ///< round-robin across nodes (maximise memory bandwidth)
+  kNumaSpread,  ///< like scatter, but ranks on the same node get distinct cores
+                ///< before any core is reused (the arena-affinity default)
+};
+
+const char* pinning_mode_name(PinningMode mode);
+
+/// Parse a user-facing mode name ("none" | "compact" | "scatter" |
+/// "numa-spread"/"numa_spread"). Returns false and leaves `out` untouched
+/// on an unknown name.
+bool parse_pinning_mode(const std::string& name, PinningMode* out);
+
+/// One NUMA node and its online CPUs (sorted ascending).
+struct TopologyNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The machine as seen through sysfs. Immutable after detection.
+struct Topology {
+  std::vector<TopologyNode> nodes;
+  bool degraded = false;  ///< true when sysfs was absent/unparseable
+  std::string note;       ///< human-readable reason when degraded
+
+  /// Total online CPUs across all nodes.
+  int num_cpus() const;
+
+  /// Node owning `cpu`, or -1 when the CPU is unknown.
+  int node_of_cpu(int cpu) const;
+
+  /// Probe the live host (`/sys`). Falls back to a single synthetic node
+  /// covering std::thread::hardware_concurrency() CPUs when the sysfs
+  /// tree is missing — `degraded` is set and `note` says why.
+  static Topology detect();
+
+  /// Probe a scripted sysfs tree rooted at `root` (tests point this at
+  /// fixture directories; production uses detect() == from_sysfs("/sys")).
+  static Topology from_sysfs(const std::string& root);
+
+  /// The no-sysfs fallback: one node, `ncpus` CPUs, degraded flag set.
+  static Topology fallback(int ncpus, std::string why);
+};
+
+/// Parse a sysfs CPU-list string ("0-3,5,7-8") into sorted CPU ids.
+/// Malformed chunks are skipped; an empty/invalid string yields {}.
+std::vector<int> parse_cpu_list(const std::string& text);
+
+/// Where one rank should run.
+struct PinSlot {
+  int cpu = -1;   ///< -1: leave this rank unpinned
+  int node = -1;  ///< preferred NUMA node for the rank's arena (-1: any)
+};
+
+/// A full placement: one slot per rank plus degradation provenance.
+struct PinPlan {
+  std::vector<PinSlot> slots;
+  bool degraded = false;
+  std::string note;
+};
+
+/// Build the rank-to-core placement for `num_ranks` ranks under `mode`.
+/// More ranks than CPUs wraps around (slots repeat CPUs) and marks the
+/// plan degraded. kNone yields all-unpinned slots (nodes still assigned
+/// round-robin so arenas can bind even without affinity).
+PinPlan plan_pinning(const Topology& topo, PinningMode mode, RankId num_ranks);
+
+/// Pin the calling thread to `cpu` via sched_setaffinity. Returns false
+/// (without raising) when unsupported or refused — callers surface this
+/// through the degraded banner, never a crash.
+bool pin_current_thread(int cpu);
+
+}  // namespace remo

@@ -359,7 +359,9 @@ TEST(BackendResolution, RusageBackendProvidesTaskClock) {
   ASSERT_NE(b, nullptr);
   if (!b->open()) GTEST_SKIP() << "no thread rusage on this platform";
   EXPECT_EQ(b->available(),
-            prof_counter_bit(ProfCounter::kTaskClockNs));
+            prof_counter_bit(ProfCounter::kTaskClockNs) |
+                prof_counter_bit(ProfCounter::kMinorFaults) |
+                prof_counter_bit(ProfCounter::kMajorFaults));
   CounterSet before, after;
   ASSERT_TRUE(b->read(before));
   // Burn a little CPU so the task clock must advance.

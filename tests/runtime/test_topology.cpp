@@ -1,0 +1,241 @@
+// Topology discovery (runtime/topology.hpp): cpulist parsing, scripted
+// sysfs fixture trees (single-node, two-node, offline-CPU holes), the
+// no-NUMA degradation path, and pin-plan construction for every mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/topology.hpp"
+
+namespace remo::test {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Build a scripted sysfs tree under TempDir and return its root.
+class SysfsFixture {
+ public:
+  explicit SysfsFixture(const char* name)
+      : root_(std::string(::testing::TempDir()) + "/" + name) {
+    fs::remove_all(root_);
+    fs::create_directories(root_ + "/devices/system/node");
+    fs::create_directories(root_ + "/devices/system/cpu");
+  }
+  ~SysfsFixture() { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path p = fs::path(root_) / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << text;
+  }
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+};
+
+TEST(ParseCpuList, RangesSinglesAndJunk) {
+  EXPECT_EQ(parse_cpu_list("0-3,5,7-8\n"),
+            (std::vector<int>{0, 1, 2, 3, 5, 7, 8}));
+  EXPECT_EQ(parse_cpu_list("2"), (std::vector<int>{2}));
+  EXPECT_EQ(parse_cpu_list(""), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpu_list("garbage"), (std::vector<int>{}));
+  // Malformed chunks are skipped, valid ones kept.
+  EXPECT_EQ(parse_cpu_list("0-2,x,4"), (std::vector<int>{0, 1, 2, 4}));
+  // Reversed range and negatives are invalid.
+  EXPECT_EQ(parse_cpu_list("5-3"), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpu_list("-1"), (std::vector<int>{}));
+  // Duplicates collapse.
+  EXPECT_EQ(parse_cpu_list("0,0,0-1"), (std::vector<int>{0, 1}));
+}
+
+TEST(ParsePinningMode, AllNamesAndRejects) {
+  PinningMode m = PinningMode::kNone;
+  EXPECT_TRUE(parse_pinning_mode("compact", &m));
+  EXPECT_EQ(m, PinningMode::kCompact);
+  EXPECT_TRUE(parse_pinning_mode("scatter", &m));
+  EXPECT_EQ(m, PinningMode::kScatter);
+  EXPECT_TRUE(parse_pinning_mode("numa-spread", &m));
+  EXPECT_EQ(m, PinningMode::kNumaSpread);
+  EXPECT_TRUE(parse_pinning_mode("numa_spread", &m));
+  EXPECT_EQ(m, PinningMode::kNumaSpread);
+  EXPECT_TRUE(parse_pinning_mode("none", &m));
+  EXPECT_EQ(m, PinningMode::kNone);
+  m = PinningMode::kScatter;
+  EXPECT_FALSE(parse_pinning_mode("bogus", &m));
+  EXPECT_EQ(m, PinningMode::kScatter);  // untouched on failure
+  // Round trip through the printed names.
+  for (const PinningMode mode :
+       {PinningMode::kNone, PinningMode::kCompact, PinningMode::kScatter,
+        PinningMode::kNumaSpread}) {
+    PinningMode back = PinningMode::kNone;
+    ASSERT_TRUE(parse_pinning_mode(pinning_mode_name(mode), &back));
+    EXPECT_EQ(back, mode);
+  }
+}
+
+TEST(TopologyFromSysfs, SingleNode) {
+  SysfsFixture fix("sysfs_single");
+  fix.write("devices/system/node/online", "0\n");
+  fix.write("devices/system/node/node0/cpulist", "0-3\n");
+  fix.write("devices/system/cpu/online", "0-3\n");
+  const Topology t = Topology::from_sysfs(fix.root());
+  EXPECT_FALSE(t.degraded);
+  ASSERT_EQ(t.nodes.size(), 1u);
+  EXPECT_EQ(t.nodes[0].id, 0);
+  EXPECT_EQ(t.nodes[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_EQ(t.node_of_cpu(2), 0);
+  EXPECT_EQ(t.node_of_cpu(9), -1);
+}
+
+TEST(TopologyFromSysfs, TwoNodes) {
+  SysfsFixture fix("sysfs_two");
+  fix.write("devices/system/node/online", "0-1\n");
+  fix.write("devices/system/node/node0/cpulist", "0-3\n");
+  fix.write("devices/system/node/node1/cpulist", "4-7\n");
+  fix.write("devices/system/cpu/online", "0-7\n");
+  const Topology t = Topology::from_sysfs(fix.root());
+  EXPECT_FALSE(t.degraded);
+  ASSERT_EQ(t.nodes.size(), 2u);
+  EXPECT_EQ(t.num_cpus(), 8);
+  EXPECT_EQ(t.node_of_cpu(3), 0);
+  EXPECT_EQ(t.node_of_cpu(4), 1);
+}
+
+TEST(TopologyFromSysfs, OfflineCpuHolesAreExcluded) {
+  // CPUs 2 and 5 are offline: they appear in the node cpulists but not in
+  // cpu/online, and must never reach a pin plan.
+  SysfsFixture fix("sysfs_holes");
+  fix.write("devices/system/node/online", "0-1\n");
+  fix.write("devices/system/node/node0/cpulist", "0-3\n");
+  fix.write("devices/system/node/node1/cpulist", "4-7\n");
+  fix.write("devices/system/cpu/online", "0-1,3-4,6-7\n");
+  const Topology t = Topology::from_sysfs(fix.root());
+  EXPECT_FALSE(t.degraded);
+  ASSERT_EQ(t.nodes.size(), 2u);
+  EXPECT_EQ(t.nodes[0].cpus, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(t.nodes[1].cpus, (std::vector<int>{4, 6, 7}));
+  EXPECT_EQ(t.node_of_cpu(2), -1);
+  EXPECT_EQ(t.node_of_cpu(5), -1);
+}
+
+TEST(TopologyFromSysfs, MemoryOnlyNodeKeptAsArenaTarget) {
+  SysfsFixture fix("sysfs_memonly");
+  fix.write("devices/system/node/online", "0-1\n");
+  fix.write("devices/system/node/node0/cpulist", "0-1\n");
+  fix.write("devices/system/node/node1/cpulist", "\n");  // CXL-style: no CPUs
+  const Topology t = Topology::from_sysfs(fix.root());
+  EXPECT_FALSE(t.degraded);
+  ASSERT_EQ(t.nodes.size(), 2u);
+  EXPECT_TRUE(t.nodes[1].cpus.empty());
+  EXPECT_EQ(t.num_cpus(), 2);
+}
+
+TEST(TopologyFromSysfs, MissingTreeDegradesExplicitly) {
+  SysfsFixture fix("sysfs_empty");  // dirs exist, no files
+  const Topology t = Topology::from_sysfs(fix.root());
+  EXPECT_TRUE(t.degraded);
+  EXPECT_FALSE(t.note.empty());
+  ASSERT_EQ(t.nodes.size(), 1u);  // single synthetic node
+  EXPECT_GE(t.num_cpus(), 1);
+}
+
+TEST(TopologyDetect, AlwaysYieldsAtLeastOneCpu) {
+  const Topology t = Topology::detect();
+  EXPECT_GE(t.num_cpus(), 1);
+  if (t.degraded) {
+    EXPECT_FALSE(t.note.empty());
+  }
+}
+
+Topology two_node_topo() {
+  Topology t;
+  t.nodes.push_back({0, {0, 1, 2, 3}});
+  t.nodes.push_back({1, {4, 5, 6, 7}});
+  return t;
+}
+
+TEST(PlanPinning, NoneAssignsNodesButNoCpus) {
+  const PinPlan p = plan_pinning(two_node_topo(), PinningMode::kNone, 4);
+  ASSERT_EQ(p.slots.size(), 4u);
+  EXPECT_FALSE(p.degraded);
+  for (const PinSlot& s : p.slots) EXPECT_EQ(s.cpu, -1);
+  // Arena affinity still round-robins nodes under kNone.
+  EXPECT_NE(p.slots[0].node, -1);
+}
+
+TEST(PlanPinning, CompactFillsNodeZeroFirst) {
+  const PinPlan p = plan_pinning(two_node_topo(), PinningMode::kCompact, 6);
+  ASSERT_EQ(p.slots.size(), 6u);
+  EXPECT_FALSE(p.degraded);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(p.slots[r].cpu, r) << r;
+    EXPECT_EQ(p.slots[r].node, 0) << r;
+  }
+  EXPECT_EQ(p.slots[4].cpu, 4);
+  EXPECT_EQ(p.slots[4].node, 1);
+  EXPECT_EQ(p.slots[5].cpu, 5);
+}
+
+TEST(PlanPinning, ScatterAlternatesNodes) {
+  const PinPlan p = plan_pinning(two_node_topo(), PinningMode::kScatter, 4);
+  ASSERT_EQ(p.slots.size(), 4u);
+  EXPECT_EQ(p.slots[0].node, 0);
+  EXPECT_EQ(p.slots[1].node, 1);
+  EXPECT_EQ(p.slots[2].node, 0);
+  EXPECT_EQ(p.slots[3].node, 1);
+  EXPECT_EQ(p.slots[0].cpu, 0);
+  EXPECT_EQ(p.slots[1].cpu, 4);
+  EXPECT_EQ(p.slots[2].cpu, 1);
+  EXPECT_EQ(p.slots[3].cpu, 5);
+}
+
+TEST(PlanPinning, NumaSpreadUsesDistinctCoresPerNode) {
+  const PinPlan p = plan_pinning(two_node_topo(), PinningMode::kNumaSpread, 8);
+  ASSERT_EQ(p.slots.size(), 8u);
+  EXPECT_FALSE(p.degraded);
+  // All 8 CPUs used exactly once before any reuse.
+  std::vector<int> cpus;
+  for (const PinSlot& s : p.slots) cpus.push_back(s.cpu);
+  std::sort(cpus.begin(), cpus.end());
+  EXPECT_EQ(cpus, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(PlanPinning, MoreRanksThanCpusWrapsAndDegrades) {
+  const PinPlan p = plan_pinning(two_node_topo(), PinningMode::kCompact, 10);
+  ASSERT_EQ(p.slots.size(), 10u);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_NE(p.note.find("wrap"), std::string::npos);
+  EXPECT_EQ(p.slots[8].cpu, p.slots[0].cpu);  // wrapped
+  EXPECT_EQ(p.slots[9].cpu, p.slots[1].cpu);
+}
+
+TEST(PlanPinning, MemoryOnlyNodesNeverHostRanks) {
+  Topology t;
+  t.nodes.push_back({0, {0, 1}});
+  t.nodes.push_back({1, {}});  // memory-only
+  const PinPlan p = plan_pinning(t, PinningMode::kScatter, 2);
+  for (const PinSlot& s : p.slots) EXPECT_EQ(s.node, 0);
+}
+
+TEST(PlanPinning, NoCpusDegradesToUnpinned) {
+  Topology t;
+  t.nodes.push_back({0, {}});
+  const PinPlan p = plan_pinning(t, PinningMode::kCompact, 2);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_FALSE(p.note.empty());
+  for (const PinSlot& s : p.slots) EXPECT_EQ(s.cpu, -1);
+}
+
+TEST(PinCurrentThread, NegativeCpuRefusedGracefully) {
+  EXPECT_FALSE(pin_current_thread(-1));
+}
+
+}  // namespace
+}  // namespace remo::test

@@ -78,13 +78,16 @@ int usage() {
                "                [--algo none|bfs|sssp|cc|st|degree] [--source V]\n"
                "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n"
                "                [--batch-size N] [--no-coalesce]\n"
+               "                [--pinning none|compact|scatter|numa-spread]\n"
+               "                [--arenas] [--no-hugepages] [--no-numa-bind]\n"
+               "                [--arena-chunk BYTES]\n"
                "                [--stats] [--stats-json FILE] [--trace FILE]\n"
                "                [--latency-sample SHIFT]\n"
                "                [--lineage] [--lineage-out FILE] [--lineage-sample SHIFT]\n"
                "                [--watch] [--metrics-out FILE] [--metrics-period MS]\n"
                "                [--metrics-format jsonl|prom] [--watchdog]\n"
                "                [--prof] [--prof-out FILE] [--prof-shift N]\n"
-               "                [--prof-backend auto|perf|rusage|noop]\n"
+               "                [--prof-backend auto|perf|perf_event|rusage|noop|none]\n"
                "                [--folded FILE] [--prof-period-us US]\n"
                "  remo prof     (alias: ingest with --prof forced on)\n"
                "  remo serve    --graph FILE [--ranks N] [--streams N] [--source V]\n"
@@ -96,8 +99,10 @@ int usage() {
                "                [--metrics-out FILE] [--metrics-period MS]\n"
                "                [--metrics-format jsonl|prom]\n"
                "                [--prof] [--prof-out FILE] [--prof-shift N]\n"
-               "                [--prof-backend auto|perf|rusage|noop]\n"
+               "                [--prof-backend auto|perf|perf_event|rusage|noop|none]\n"
                "                [--folded FILE] [--prof-period-us US]\n"
+               "                [--pinning MODE] [--arenas] [--no-hugepages]\n"
+               "                [--no-numa-bind] [--arena-chunk BYTES]\n"
                "  remo trace-analyze --lineage FILE [--top K] [--min-descendants N]\n"
                "  remo trace-analyze --spans FILE [--tail] [--tail-pct P]\n"
                "                     [--require-complete]\n"
@@ -173,17 +178,32 @@ int usage() {
                "  --no-coalesce      deliver every Update visitor verbatim instead\n"
                "                     of merging same-sender monotone updates\n"
                "\n"
+               "memory & locality (DESIGN.md \"Memory & locality\"):\n"
+               "  --pinning MODE     pin rank threads to cores: none (default) |\n"
+               "                     compact | scatter | numa-spread\n"
+               "  --arenas           route vertex storage and mailbox rings through\n"
+               "                     per-rank huge-page arenas bound to the rank's\n"
+               "                     NUMA node (degrades to THP, then plain pages,\n"
+               "                     with a stderr banner — never fails)\n"
+               "  --no-hugepages     skip the hugetlb/THP tiers (plain pages)\n"
+               "  --no-numa-bind     skip mbind; rely on first-touch only\n"
+               "  --arena-chunk N    arena chunk size in bytes (default 8 MiB)\n"
+               "\n"
                "hardware counters (docs/OBSERVABILITY.md \"Profiling\"):\n"
                "  --prof             open per-rank counter groups (cycles, instr,\n"
-               "                     LLC loads/misses, branch misses, stalls) and\n"
+               "                     LLC loads/misses, branch misses, stalls,\n"
+               "                     dTLB loads/misses, page faults) and\n"
                "                     attribute them to engine phases; prints the\n"
                "                     per-rank x per-phase IPC / miss-rate table\n"
                "  --prof-out FILE    write the remo-prof-1 JSON snapshot (feed to\n"
                "                     trace-analyze --prof)\n"
                "  --prof-shift N     read counters every 2^N-th phase boundary\n"
                "                     (default 4)\n"
-               "  --prof-backend B   auto (default; perf_event -> rusage -> noop),\n"
-               "                     or force perf | rusage | noop\n"
+               "  --prof-backend B   accepted values: auto (default; tries\n"
+               "                     perf_event, falls back to rusage, then noop),\n"
+               "                     perf or perf_event (force hardware counters),\n"
+               "                     rusage (task clock + minor/major faults via\n"
+               "                     getrusage), noop or none (disable reads)\n"
                "  --folded FILE      sampled on-CPU profile as folded stacks\n"
                "                     (flamegraph.pl compatible)\n"
                "  --prof-period-us U stack sampling period (default 1000)\n"
@@ -292,6 +312,28 @@ void apply_prof_args(const Args& a, EngineConfig& cfg) {
   }
 }
 
+// --- Memory & locality plane (DESIGN.md "Memory & locality") ----------------
+
+/// Fold the --pinning / --arenas flags into the engine config. Degradation
+/// (no hugepages, no NUMA, rank > CPU wrap) prints a banner at engine
+/// construction but never fails the run.
+int apply_memory_args(const Args& a, EngineConfig& cfg) {
+  if (const std::string mode = a.str("pinning"); !mode.empty()) {
+    if (!parse_pinning_mode(mode.c_str(), &cfg.pinning)) {
+      std::fprintf(stderr,
+                   "unknown --pinning mode '%s' (expected none | compact | "
+                   "scatter | numa-spread)\n", mode.c_str());
+      return usage();
+    }
+  }
+  if (a.flag("arenas")) cfg.memory.arenas = true;
+  if (a.flag("no-hugepages")) cfg.memory.huge_pages = false;
+  if (a.flag("no-numa-bind")) cfg.memory.numa_bind = false;
+  if (const std::uint64_t n = a.num("arena-chunk", 0); n > 0)
+    cfg.memory.arena_chunk_bytes = static_cast<std::size_t>(n);
+  return 0;
+}
+
 /// Print the attribution tables and write the requested artefacts after a
 /// run. Returns nonzero only on a write failure (degraded backends print a
 /// banner but exit clean — CI containers without perf access must pass).
@@ -333,6 +375,7 @@ int cmd_ingest(const Args& a) {
   if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
   cfg.batch_size = static_cast<std::size_t>(a.num("batch-size", cfg.batch_size));
   if (a.flag("no-coalesce")) cfg.coalesce = false;
+  if (const int rc = apply_memory_args(a, cfg); rc != 0) return rc;
 
   const bool want_stats = a.flag("stats");
   const std::string stats_json = a.str("stats-json");
@@ -484,7 +527,11 @@ int cmd_ingest(const Args& a) {
         std::fprintf(stderr, "cannot open %s\n", stats_json.c_str());
         return 1;
       }
-      const std::string text = snap.to_json().dump(2);
+      Json doc = snap.to_json();
+      // Achieved memory-plane state (page backing tier, pin slots,
+      // degradation note) — the dTLB runbook points here.
+      doc["memory"] = engine.memory_plane().to_json();
+      const std::string text = doc.dump(2);
       std::fwrite(text.data(), 1, text.size(), f);
       std::fputc('\n', f);
       std::fclose(f);
@@ -549,6 +596,7 @@ int cmd_serve(const Args& a) {
   if (a.flag("safra")) cfg.termination = TerminationMode::kSafra;
   cfg.obs.trace = !trace_path.empty();
   apply_prof_args(a, cfg);
+  if (const int rc = apply_memory_args(a, cfg); rc != 0) return rc;
   Engine engine(cfg);
 
   std::unique_ptr<obs::SpanRecorder> spans;
