@@ -39,6 +39,7 @@
 #include "graph/edge_list.hpp"
 #include "graph/static_bfs.hpp"
 #include "graph/static_cc.hpp"
+#include "graph/static_pagerank.hpp"
 #include "graph/static_sssp.hpp"
 #include "graph/static_st.hpp"
 
@@ -81,4 +82,6 @@
 #include "core/algorithms/dynamic_cc.hpp"
 #include "core/algorithms/dynamic_sssp.hpp"
 #include "core/algorithms/multi_st.hpp"
+#include "core/algorithms/pagerank_delta.hpp"
+#include "core/algorithms/weighted_sssp.hpp"
 #include "core/algorithms/wide_st.hpp"

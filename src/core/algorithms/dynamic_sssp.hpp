@@ -75,6 +75,17 @@ class DynamicSssp : public VertexProgram {
     }
   }
 
+  void on_weight_change(VertexContext& ctx, VertexId nbr, Weight old_w,
+                        Weight new_w) override {
+    // A cheaper edge is a fresh relaxation source: re-offer our distance
+    // across it (both owners fire, so the closer end relaxes the other).
+    // Increases are NOT handled — this program's repair anchor only checks
+    // parent-edge existence, which cannot see a stale-low distance through
+    // a surviving edge. WeightedSssp is the increase-capable variant.
+    if (new_w < old_w && ctx.value() != kInfiniteState)
+      ctx.update_single_nbr(nbr, ctx.value());
+  }
+
   // --- Decremental repair (same strategy as DynamicBfs) -----------------------
 
   void on_delete(VertexContext& ctx, VertexId nbr, Weight w) override {

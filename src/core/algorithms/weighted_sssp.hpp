@@ -1,0 +1,143 @@
+// Weighted SSSP with true edge-weight mutations (memo-path).
+//
+// Same min-plus recursion as DynamicSssp, but weight changes arrive as
+// first-class on_weight_change events instead of being decomposed into a
+// delete+add pair (which would race the repair wave — the PR 5 stale-update
+// family — and transiently orphan the whole subtree under the edge):
+//
+//   decrease  the edge is a fresh relaxation source: each side re-offers
+//             its distance across the now-cheaper edge, and the normal
+//             monotone machinery absorbs it — no invalidation at all.
+//   increase  only damages a vertex whose *parent* edge grew (its distance
+//             was old_w-supported); it marks itself dirty and the next
+//             repair wave invalidates-then-reconverges exactly that
+//             subtree, per the memo-path policy (DESIGN.md §8).
+//
+// Because an increase leaves the parent edge in place, the repair anchor
+// cannot use DynamicSssp's "parent edge still exists" shortcut — it
+// re-derives support from the memoized parent state: the anchor is sound
+// only when memo(parent) + w(parent) still equals its distance.
+//
+// Parents are always tracked (aux) and deletes always supported: the
+// memo-path policy is the point of this program. Distances use the paper
+// convention dist(source) = 1; weights must be >= 1.
+#pragma once
+
+#include "common/assert.hpp"
+#include "core/vertex_program.hpp"
+
+namespace remo {
+
+class WeightedSssp : public VertexProgram {
+ public:
+  explicit WeightedSssp(VertexId source) : source_(source) {}
+
+  std::string name() const override { return "wsssp"; }
+  StateWord identity() const override { return kInfiniteState; }
+  bool no_worse(StateWord a, StateWord b) const override { return a <= b; }
+  MemoizationPolicy memoization_policy() const override {
+    return MemoizationPolicy::kMemoPath;
+  }
+  bool supports_deletes() const override { return true; }
+  bool update_is_redundant(StateWord nbr_cache, StateWord value) const override {
+    return nbr_cache <= value;
+  }
+  bool can_combine() const override { return true; }
+  StateWord combine(StateWord a, StateWord b) const override {
+    return a < b ? a : b;
+  }
+
+  VertexId source() const noexcept { return source_; }
+
+  void init(VertexContext& ctx) override {
+    ctx.set_value(1);
+    ctx.set_aux(ctx.vertex());
+    ctx.update_all_nbrs(1);
+  }
+
+  void on_add(VertexContext& ctx, VertexId nbr, Weight /*w*/) override {
+    if (!ctx.undirected() && ctx.value() != kInfiniteState)
+      ctx.update_single_nbr(nbr, ctx.value());
+  }
+
+  void on_reverse_add(VertexContext& ctx, VertexId nbr, StateWord nbr_val,
+                      Weight w) override {
+    on_update(ctx, nbr, nbr_val, w);
+  }
+
+  void on_update(VertexContext& ctx, VertexId from, StateWord from_val,
+                 Weight w) override {
+    REMO_ASSERT(w >= 1);
+    const StateWord mine = ctx.value();
+    if (from_val != kInfiniteState && mine > from_val + w) {
+      ctx.set_value(from_val + w);
+      ctx.set_aux(from);
+      ctx.update_all_nbrs(from_val + w);
+    } else if (mine != kInfiniteState &&
+               (from_val == kInfiniteState || from_val > mine + w)) {
+      ctx.update_single_nbr(from, mine);
+    }
+  }
+
+  void on_weight_change(VertexContext& ctx, VertexId nbr, Weight old_w,
+                        Weight new_w) override {
+    if (new_w < old_w) {
+      // The edge got cheaper: re-offer our distance across it. Both sides
+      // fire (the event is delivered to each owner), so whichever end is
+      // closer relaxes the other; the offer rides the *new* stored weight.
+      if (ctx.value() != kInfiniteState)
+        ctx.update_single_nbr(nbr, ctx.value());
+    } else if (new_w > old_w && ctx.aux() == nbr) {
+      // Our distance was computed through this edge at the old weight —
+      // it is now stale-low. Queue ourselves for the repair wave.
+      ctx.mark_dirty();
+    }
+  }
+
+  // --- Decremental repair ----------------------------------------------------
+
+  void on_delete(VertexContext& ctx, VertexId nbr, Weight w) override {
+    on_reverse_delete(ctx, nbr, w);
+  }
+
+  void on_reverse_delete(VertexContext& ctx, VertexId nbr, Weight /*w*/) override {
+    if (ctx.aux() == nbr) ctx.mark_dirty();
+  }
+
+  void on_repair_anchor(VertexContext& ctx) override {
+    if (ctx.value() == kInfiniteState || ctx.vertex() == source_) return;
+    const StateWord parent = ctx.aux();
+    if (parent != kInfiniteState && ctx.adj()) {
+      const VertexId p = static_cast<VertexId>(parent);
+      // The edge surviving is necessary but not sufficient: after a weight
+      // increase the parent is still adjacent while our distance is stale.
+      // Re-derive support from the memoized parent distance instead. An
+      // absent memo (edge churned since we last heard the parent) cannot
+      // prove support either way — invalidate conservatively; phase B's
+      // probes rebuild anything that was actually fine.
+      const StateWord memo = ctx.nbr_memo(p);
+      if (ctx.adj()->contains(p) && memo != kInfiniteState &&
+          memo + ctx.edge_weight(p) == ctx.value())
+        return;
+    }
+    invalidate(ctx);
+  }
+
+  void on_invalidate(VertexContext& ctx, VertexId from) override {
+    if (ctx.value() == kInfiniteState) return;
+    if (ctx.aux() != from) return;
+    invalidate(ctx);
+  }
+
+ private:
+  void invalidate(VertexContext& ctx) {
+    ctx.set_value(kInfiniteState);
+    ctx.set_aux(kInfiniteState);
+    ctx.mark_invalid();
+    ctx.send_invalidate_all_nbrs();
+  }
+
+  VertexId source_;
+};
+
+}  // namespace remo

@@ -96,9 +96,13 @@ void VertexContext::update_all_nbrs(StateWord value) {
   // emissions during a versioned collection also drive receivers' frozen
   // S_prev, which may be arbitrarily behind the live state — never
   // suppress those (nor prev-view emissions, which are old-tagged too).
+  // Non-monotone programs additionally opt out wholesale: the cache proof
+  // ("a neighbour's live state is no-worse than anything it sent") only
+  // holds under a monotone lattice, and deposits are skipped for them too.
   const bool suppressible =
       eng.config().nbr_cache_filter && !prev_view_ &&
-      (!eng.versioned_collection_active() || epoch_ == eng.current_epoch());
+      (!eng.versioned_collection_active() || epoch_ == eng.current_epoch()) &&
+      eng.program(prog_).monotone();
   const VertexProgram* prog = suppressible ? &eng.program(prog_) : nullptr;
   adj_->for_each([&](VertexId nbr, EdgeProp& prop) {
     if (prog) {
@@ -225,6 +229,26 @@ ProgramId Engine::attach(std::shared_ptr<VertexProgram> program) {
   REMO_CHECK_MSG(idle(), "attach() requires a quiescent engine");
   REMO_CHECK_MSG(programs_.size() < 32, "too many programs");
   const ProgramId id = static_cast<ProgramId>(programs_.size());
+  // combine() soundness is a lattice argument (vertex_program.hpp): merging
+  // two same-sender offers into their combine() is indistinguishable from
+  // late delivery only when the program is monotone. A non-monotone program
+  // claiming can_combine() would have visitors silently merged whenever
+  // coalescing is on — reject the configuration outright rather than
+  // corrupt state at runtime.
+  REMO_CHECK_MSG(program->monotone() || !program->can_combine(),
+                 "can_combine() requires a monotone program");
+  // The per-edge cache word is shared by all programs with last-writer-wins
+  // semantics (storage/adjacency.hpp). Monotone programs only lose an
+  // optimisation when evicted; a memo-delta program stores *load-bearing*
+  // cumulative-message memos there, so it must own the slot outright —
+  // reject co-attachment in either direction.
+  const bool is_delta =
+      program->memoization_policy() == MemoizationPolicy::kMemoDelta;
+  bool have_delta = false;
+  for (const auto& p : programs_)
+    have_delta |= p->memoization_policy() == MemoizationPolicy::kMemoDelta;
+  REMO_CHECK_MSG(!(is_delta && !programs_.empty()) && !have_delta,
+                 "a memo-delta program needs exclusive edge-memo ownership");
   programs_.push_back(std::move(program));
   for (auto& rt : ranks_) rt->progs.emplace_back();
   // Hand the communicator a type-erased combine thunk so same-sender

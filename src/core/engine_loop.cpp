@@ -92,7 +92,46 @@ void Engine::process_topology_add(detail::RankRuntime& rt, const Visitor& v) {
   ++rt.metrics.topology_events;
   const auto res = rt.store.insert_edge(v.target, v.other, v.weight);
   if (res.new_edge) ++rt.metrics.edges_stored;
+  // A re-add of a live edge with a different weight is a weight *change*
+  // (last-weight-wins store): programs see on_weight_change, never a
+  // delete+add pair that could race the repair wave, and the far side is
+  // told via a first-class kWeightChange visitor below.
+  const bool weight_changed = !res.new_edge && res.old_weight != v.weight;
   TwoTierAdjacency* const adj = res.adj;  // insert already probed the record
+  // Emit the reverse-topology half BEFORE running program callbacks: the
+  // callbacks may send updates to the new/changed neighbour, and those
+  // updates must queue behind the visitor that materialises the reverse
+  // edge on the same FIFO channel — otherwise they arrive at a vertex with
+  // no receiver-side edge and the stale-update guard (correctly) drops
+  // them. Topology lands on both sides first, then the algorithm reacts.
+  if (cfg_.undirected && v.target != v.other) {
+    if (weight_changed) {
+      // The reverse edge already exists at the far owner; ship the weight
+      // mutation as its own visitor (old weight in `value`). One per
+      // program so each gets its callback; a bare topology-tagged one when
+      // none are attached keeps the two stores consistent.
+      if (rt.progs.empty()) {
+        rt.send(Visitor{v.other, v.target, res.old_weight, v.weight,
+                        VisitKind::kWeightChange, Visitor::kTopologyAlgo,
+                        v.epoch});
+      } else {
+        for (ProgramId p = 0; p < rt.progs.size(); ++p)
+          rt.send(Visitor{v.other, v.target, res.old_weight, v.weight,
+                          VisitKind::kWeightChange, p, v.epoch});
+      }
+    } else if (rt.progs.empty()) {
+      // Reverse-Add carries the topology change AND this vertex's program
+      // state in one visitor (Algorithm 3's REVERSE_ADD does both): the
+      // program-tagged handler inserts the reverse edge idempotently before
+      // running its callback, so no separate topology visitor is needed
+      // unless no program is attached.
+      rt.send(Visitor{v.other, v.target, 0, v.weight, VisitKind::kReverseAdd,
+                      Visitor::kTopologyAlgo, v.epoch});
+    } else {
+      for (ProgramId p = 0; p < rt.progs.size(); ++p)
+        emit_program_reverse(rt, v, p, VisitKind::kReverseAdd);
+    }
+  }
   // Handle-invalidation audit (debug): `adj` is only usable across the
   // program loop below because VertexContext exposes no store-mutation API
   // — no callback can grow the vertex map and move the record out from
@@ -102,41 +141,41 @@ void Engine::process_topology_add(detail::RankRuntime& rt, const Visitor& v) {
   [[maybe_unused]] const std::uint64_t store_gen = rt.store.generation();
   for (ProgramId p = 0; p < rt.progs.size(); ++p)
     dispatch_views(rt, v, p, adj, [&](VertexContext& ctx) {
-      programs_[p]->on_add(ctx, v.other, v.weight);
+      if (weight_changed)
+        programs_[p]->on_weight_change(ctx, v.other, res.old_weight, v.weight);
+      else
+        programs_[p]->on_add(ctx, v.other, v.weight);
     });
   REMO_ASSERT(rt.store.generation() == store_gen);
-  if (cfg_.undirected && v.target != v.other) {
-    // Reverse-Add carries the topology change AND this vertex's program
-    // state in one visitor (Algorithm 3's REVERSE_ADD does both): the
-    // program-tagged handler inserts the reverse edge idempotently before
-    // running its callback, so no separate topology visitor is needed
-    // unless no program is attached.
-    if (rt.progs.empty()) {
-      rt.send(Visitor{v.other, v.target, 0, v.weight, VisitKind::kReverseAdd,
-                      Visitor::kTopologyAlgo, v.epoch});
-    } else {
-      for (ProgramId p = 0; p < rt.progs.size(); ++p)
-        emit_program_reverse(rt, v, p, VisitKind::kReverseAdd);
-    }
-  }
 }
 
 void Engine::process_topology_delete(detail::RankRuntime& rt, const Visitor& v) {
   ++rt.metrics.topology_events;
-  const bool removed = rt.store.erase_edge(v.target, v.other);
+  // Delete events name only the endpoints; the weight a program must
+  // retract (PageRank mass revocation) is whatever the store actually
+  // held — under weight mutations that can differ from the event's stamp —
+  // and memo-delta programs also need the erased edge's memo slot, which
+  // the erase would otherwise destroy before the callback could read it.
+  EdgeProp erased{};
+  erased.weight = v.weight;
+  const bool removed = rt.store.erase_edge(v.target, v.other, &erased);
   if (removed) --rt.metrics.edges_stored;
+  const Weight erased_w = erased.weight;
+  Visitor dv = v;
+  dv.weight = erased_w;
   TwoTierAdjacency* adj = rt.store.adjacency(v.target);
   for (ProgramId p = 0; p < rt.progs.size(); ++p)
-    dispatch_views(rt, v, p, adj, [&](VertexContext& ctx) {
-      programs_[p]->on_delete(ctx, v.other, v.weight);
+    dispatch_views(rt, dv, p, adj, [&](VertexContext& ctx) {
+      ctx.deleted_nbr_memo_ = erased.cache_for(p);
+      programs_[p]->on_delete(ctx, v.other, erased_w);
     });
   if (cfg_.undirected && removed && v.target != v.other) {
     if (rt.progs.empty()) {
-      rt.send(Visitor{v.other, v.target, 0, v.weight, VisitKind::kReverseDelete,
+      rt.send(Visitor{v.other, v.target, 0, erased_w, VisitKind::kReverseDelete,
                       Visitor::kTopologyAlgo, v.epoch});
     } else {
       for (ProgramId p = 0; p < rt.progs.size(); ++p)
-        emit_program_reverse(rt, v, p, VisitKind::kReverseDelete);
+        emit_program_reverse(rt, dv, p, VisitKind::kReverseDelete);
     }
   }
 }
@@ -191,7 +230,10 @@ void Engine::dispatch_visitor(detail::RankRuntime& rt, const Visitor& v) {
         // insert just returned, no re-probe. Same handle audit as
         // process_topology_add: the callback must not mutate the store.
         [[maybe_unused]] const std::uint64_t store_gen = rt.store.generation();
-        res.prop->set_cache(v.algo, v.value);
+        // The cache bounds the sender's live state only under a monotone
+        // lattice; non-monotone programs never consult it, and depositing
+        // would evict a monotone co-program's slot for nothing.
+        if (programs_[v.algo]->monotone()) res.prop->set_cache(v.algo, v.value);
         dispatch_views(rt, v, v.algo, res.adj, [&](VertexContext& ctx) {
           programs_[v.algo]->on_reverse_add(ctx, v.other, v.value, v.weight);
         });
@@ -200,15 +242,37 @@ void Engine::dispatch_visitor(detail::RankRuntime& rt, const Visitor& v) {
       break;
     }
 
-    case VisitKind::kReverseDelete:
-      if (rt.store.erase_edge(v.target, v.other)) --rt.metrics.edges_stored;
+    case VisitKind::kWeightChange: {
+      // Far side of an in-place weight mutation: assert the new weight on
+      // the reverse edge (idempotent across programs), then let the
+      // program react. `value` carries the old weight from the canonical
+      // owner, so every program sees the same old -> new transition
+      // regardless of arrival order.
+      const auto res = rt.store.insert_edge(v.target, v.other, v.weight);
+      if (res.new_edge) ++rt.metrics.edges_stored;  // defensive; see comment
       if (v.algo != Visitor::kTopologyAlgo) {
-        TwoTierAdjacency* adj = rt.store.adjacency(v.target);
-        dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
-          programs_[v.algo]->on_reverse_delete(ctx, v.other, v.weight);
+        const Weight old_w = static_cast<Weight>(v.value);
+        dispatch_views(rt, v, v.algo, res.adj, [&](VertexContext& ctx) {
+          programs_[v.algo]->on_weight_change(ctx, v.other, old_w, v.weight);
         });
       }
       break;
+    }
+
+    case VisitKind::kReverseDelete: {
+      EdgeProp erased{};
+      erased.weight = v.weight;
+      if (rt.store.erase_edge(v.target, v.other, &erased))
+        --rt.metrics.edges_stored;
+      if (v.algo != Visitor::kTopologyAlgo) {
+        TwoTierAdjacency* adj = rt.store.adjacency(v.target);
+        dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
+          ctx.deleted_nbr_memo_ = erased.cache_for(v.algo);
+          programs_[v.algo]->on_reverse_delete(ctx, v.other, erased.weight);
+        });
+      }
+      break;
+    }
 
     case VisitKind::kUpdate: {
       TwoTierAdjacency* adj = rt.store.adjacency(v.target);
@@ -229,9 +293,17 @@ void Engine::dispatch_visitor(detail::RankRuntime& rt, const Visitor& v) {
         // "The bug hunt").
         break;
       }
-      if (prop) prop->set_cache(v.algo, v.value);
+      if (prop && programs_[v.algo]->monotone()) prop->set_cache(v.algo, v.value);
+      // Relax with the RECEIVER's stored weight, not the one the sender read
+      // at send time. A message sent after a weight assertion queues behind
+      // the visitor asserting that weight here (same per-producer FIFO), so
+      // the local store is always at least as fresh as the carried weight —
+      // whereas a pre-change offer can land *after* on_weight_change ran and
+      // would re-derive stale state no repair anchor could ever see. Found
+      // by `remo fuzz --algo wsssp` (tests/integration/repros).
+      const Weight w_now = prop ? prop->weight : v.weight;
       dispatch_views(rt, v, v.algo, adj, [&](VertexContext& ctx) {
-        programs_[v.algo]->on_update(ctx, v.other, v.value, v.weight);
+        programs_[v.algo]->on_update(ctx, v.other, v.value, w_now);
       });
       break;
     }

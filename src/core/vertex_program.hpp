@@ -34,6 +34,27 @@ struct RankRuntime;
 /// Program slot index inside an engine.
 using ProgramId = std::uint8_t;
 
+/// How a program trades memoized state for propagation containment when the
+/// graph mutates (the Ingress taxonomy, DESIGN.md §8). The engine treats
+/// this as declarative metadata: it does not allocate anything per policy,
+/// but uses it to pick the correct mutation schedule (repair waves vs.
+/// direct delta correction) and to gate monotone-only fast paths.
+enum class MemoizationPolicy : std::uint8_t {
+  /// No memoized support structure: every mutation restarts propagation
+  /// from the affected vertices (connected components — recomputing a
+  /// label costs one flood either way).
+  kMemoFree,
+  /// Memoize the dependency path (parent pointers in `aux`): a mutation
+  /// invalidates exactly the subtree hanging off the changed edge, then
+  /// reconverges it from the intact frontier (BFS/SSSP and the weighted
+  /// variant — Engine::repair's invalidate-then-reconverge schedule).
+  kMemoPath,
+  /// Memoize per-vertex deltas (residuals in `aux`): a mutation is folded
+  /// into a local correction that propagates only while it stays above the
+  /// tolerance — no global invalidation at all (delta PageRank).
+  kMemoDelta,
+};
+
 /// Handle to one vertex's state plus the messaging surface, valid only for
 /// the duration of a callback. All operations are rank-local or enqueue
 /// visitors; nothing blocks.
@@ -70,6 +91,32 @@ class VertexContext {
   /// on_add (directed mode has no Reverse-Add to carry the value across).
   bool undirected() const;
 
+  /// Per-edge memo slot (Algorithm 3's nbrs.get/set), scoped to this
+  /// program. Monotone programs have the engine deposit sender states here
+  /// automatically; non-monotone memo-delta programs manage the slot
+  /// themselves (the cumulative-message memo that makes deletions local —
+  /// DESIGN.md §8). kInfiniteState when absent or owned by another program.
+  StateWord nbr_memo(VertexId nbr) const noexcept {
+    const EdgeProp* p = adj_ ? adj_->find(nbr) : nullptr;
+    return p ? p->cache_for(prog_) : kInfiniteState;
+  }
+  void set_nbr_memo(VertexId nbr, StateWord value) noexcept {
+    // During a versioned collection an old-epoch event at a split vertex
+    // runs the callback twice — first on frozen S_prev, then on the live
+    // state. The memo is not versioned, so only the live invocation (which
+    // always follows) may advance it; a prev-view write would make the
+    // live invocation see a zero delta and lose the message.
+    if (prev_view_) return;
+    if (EdgeProp* p = adj_ ? adj_->find(nbr) : nullptr) p->set_cache(prog_, value);
+  }
+
+  /// During on_delete / on_reverse_delete only: the memo slot of the edge
+  /// that was just erased (the topology is updated before the callback, so
+  /// nbr_memo() can no longer reach it). kInfiniteState otherwise. This is
+  /// what lets a memo-delta program retract the departed neighbour's
+  /// contribution exactly, with no message over the dead edge.
+  StateWord deleted_nbr_memo() const noexcept { return deleted_nbr_memo_; }
+
   /// Send an Update visitor carrying `value` to one vertex. The weight is
   /// looked up from this vertex's adjacency (paper: getEdgeWeight).
   void update_single_nbr(VertexId nbr, StateWord value);
@@ -101,6 +148,8 @@ class VertexContext {
   ProgramId prog_;
   std::uint16_t epoch_;
   bool prev_view_;  // operating on S_prev during a versioned collection
+  // Set by the engine for delete dispatches (see deleted_nbr_memo()).
+  StateWord deleted_nbr_memo_ = kInfiniteState;
 };
 
 /// Base class for REMO algorithms.
@@ -117,6 +166,24 @@ class VertexProgram {
   /// True when `a` is at least as converged as `b` in the program's
   /// monotone order (BFS: a <= b). Drives monotonicity property tests.
   virtual bool no_worse(StateWord a, StateWord b) const { return a <= b; }
+
+  /// Whether the program's state evolves monotonically along no_worse()
+  /// during convergence. Monotone programs get the lattice fast paths
+  /// (visitor coalescing, neighbour-cache suppression); non-monotone
+  /// programs (delta PageRank — rank mass moves both ways) must see every
+  /// message, and Engine::attach rejects them if they also claim
+  /// can_combine() (coalescing a non-monotone visitor silently corrupts
+  /// state: the merged message is not equivalent to the replayed history).
+  virtual bool monotone() const { return true; }
+
+  /// Which memoization structure backs this program's incremental updates
+  /// (DESIGN.md §8). Purely declarative today — programs implementing
+  /// kMemoPath lean on Engine::repair, kMemoDelta programs self-correct in
+  /// on_weight_change/on_delete — but surfaced so tooling (fig9 bench,
+  /// fuzz case descriptions) can report which policy a run exercised.
+  virtual MemoizationPolicy memoization_policy() const {
+    return MemoizationPolicy::kMemoFree;
+  }
 
   /// Opt-in for visitor coalescing: true when two Update visitors from the
   /// *same sender* to the *same target* may be merged en route into one
@@ -182,6 +249,22 @@ class VertexProgram {
     (void)from;
     (void)from_val;
     (void)w;
+  }
+
+  /// The edge (vertex -> nbr) changed weight old_w -> new_w in place
+  /// (last-weight-wins re-add of a live edge). Fired instead of on_add, on
+  /// both sides of an undirected edge, with the topology already updated.
+  /// A weight change is never decomposed into delete+add — that pair would
+  /// race the repair wave (the PR 5 stale-update family) and double-count
+  /// weight-dependent contributions. Weighted SSSP treats a decrease as a
+  /// fresh relaxation source and an increase on its parent edge as damage
+  /// to repair; delta PageRank folds the mass difference directly.
+  virtual void on_weight_change(VertexContext& ctx, VertexId nbr, Weight old_w,
+                                Weight new_w) {
+    (void)ctx;
+    (void)nbr;
+    (void)old_w;
+    (void)new_w;
   }
 
   // --- Decremental extension (Section VI-B) -------------------------------

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cmath>
 #include <memory>
 #include <thread>
 
@@ -13,10 +15,13 @@
 #include "core/algorithms/dynamic_cc.hpp"
 #include "core/algorithms/dynamic_sssp.hpp"
 #include "core/algorithms/multi_st.hpp"
+#include "core/algorithms/pagerank_delta.hpp"
+#include "core/algorithms/weighted_sssp.hpp"
 #include "core/engine.hpp"
 #include "graph/csr.hpp"
 #include "graph/static_bfs.hpp"
 #include "graph/static_cc.hpp"
+#include "graph/static_pagerank.hpp"
 #include "graph/static_sssp.hpp"
 #include "graph/static_st.hpp"
 #include "serve/query_service.hpp"
@@ -48,6 +53,21 @@ T pick(Xoshiro256& rng, const T (&options)[N]) {
   return options[rng.bounded(N)];
 }
 
+/// What kind of event stream an algorithm can consume: everything that
+/// changes which generator branch fires. Streams are regenerated whenever
+/// the matrix cycling (or --algo pinning) lands on an algorithm with a
+/// different profile than the seed-random one the events were made for.
+struct StreamProfile {
+  bool deletes;
+  bool mutate_weights;
+  friend bool operator==(const StreamProfile&, const StreamProfile&) = default;
+};
+
+StreamProfile profile_of(Algo a, const GenOptions& opts) {
+  return {algo_supports_deletes(a) && opts.delete_permille > 0,
+          algo_mutates_weights(a)};
+}
+
 }  // namespace
 
 const char* algo_name(Algo a) noexcept {
@@ -56,12 +76,15 @@ const char* algo_name(Algo a) noexcept {
     case Algo::kSssp: return "sssp";
     case Algo::kCc: return "cc";
     case Algo::kSt: return "st";
+    case Algo::kPagerank: return "pagerank";
+    case Algo::kWsssp: return "wsssp";
   }
   return "?";
 }
 
 bool algo_from_name(const std::string& name, Algo& out) noexcept {
-  for (const Algo a : {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt}) {
+  for (const Algo a : {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt,
+                       Algo::kPagerank, Algo::kWsssp}) {
     if (name == algo_name(a)) {
       out = a;
       return true;
@@ -69,6 +92,109 @@ bool algo_from_name(const std::string& name, Algo& out) noexcept {
   }
   return false;
 }
+
+namespace {
+
+/// Generate the event stream (and source) for `fc` under the given
+/// algorithm's profile. Deterministic in (seed, opts, profile).
+void gen_events(FuzzCase& fc, const GenOptions& opts, StreamProfile prof) {
+  const std::uint64_t seed = fc.seed;
+  Xoshiro256 rng(splitmix64(seed ^ kEventSalt));
+
+  // Live unordered pairs, for picking meaningful delete targets (and, in
+  // the weight-mutating family, live pairs to re-weight). The map stores
+  // each live pair's slot in the vector; erase swaps the tail in.
+  struct LivePair {
+    VertexId src, dst;
+    std::uint64_t key;
+  };
+  std::vector<LivePair> live;
+  RobinHoodMap<std::uint64_t, std::uint32_t> live_slot;
+
+  // Weight drawing: the monotone family keeps weights a pure function of
+  // the endpoint pair (see algo_mutates_weights); the non-monotone family
+  // draws fresh, so a duplicate add becomes a weight change.
+  auto draw_weight = [&](std::uint64_t pair_key) -> Weight {
+    if (!prof.mutate_weights) return pair_weight(pair_key, seed, opts.max_weight);
+    if (opts.max_weight <= 1) return 1;
+    return 1 + static_cast<Weight>(rng.bounded(opts.max_weight));
+  };
+
+  fc.events.clear();
+  fc.events.reserve(opts.num_events);
+  for (std::uint32_t i = 0; i < opts.num_events; ++i) {
+    const bool want_delete =
+        prof.deletes && !live.empty() && rng.bounded(1000) < opts.delete_permille;
+    if (want_delete) {
+      if (rng.bounded(16) == 0) {
+        // Occasional delete of an edge that does not exist: the engine
+        // must treat it as a no-op (no reverse propagation, no repair
+        // anchor) — a hazard class worth keeping in the stream.
+        const VertexId u = rng.bounded(opts.num_vertices);
+        VertexId v = rng.bounded(opts.num_vertices);
+        if (v == u) v = (v + 1) % opts.num_vertices;
+        const std::uint64_t key = event_pair_key(EdgeEvent{u, v});
+        if (!live_slot.contains(key)) {
+          fc.events.push_back(EdgeEvent{u, v, 1, EdgeOp::kDelete});
+          continue;
+        }
+      }
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(rng.bounded(live.size()));
+      const LivePair p = live[slot];
+      fc.events.push_back(
+          EdgeEvent{p.src, p.dst, draw_weight(p.key), EdgeOp::kDelete});
+      live[slot] = live.back();
+      live_slot.insert_or_assign(live[slot].key, slot);
+      live.pop_back();
+      live_slot.erase(p.key);
+      continue;
+    }
+    if (prof.mutate_weights && !live.empty() &&
+        rng.bounded(1000) < opts.mutate_permille) {
+      // Deliberate weight change: re-add a live pair with a fresh weight.
+      // The engine must route this through on_weight_change, never through
+      // a delete+add decomposition.
+      const LivePair& p = live[rng.bounded(live.size())];
+      fc.events.push_back(
+          EdgeEvent{p.src, p.dst, draw_weight(p.key), EdgeOp::kAdd});
+      continue;
+    }
+    const VertexId u = rng.bounded(opts.num_vertices);
+    VertexId v = rng.bounded(opts.num_vertices);
+    if (v == u) v = (v + 1) % opts.num_vertices;  // no self-loops
+    const EdgeEvent probe{u, v};
+    const std::uint64_t key = event_pair_key(probe);
+    fc.events.push_back(EdgeEvent{u, v, draw_weight(key), EdgeOp::kAdd});
+    if (!live_slot.contains(key)) {
+      live_slot.insert_or_assign(key, static_cast<std::uint32_t>(live.size()));
+      live.push_back(LivePair{u, v, key});
+    }
+  }
+
+  // Source: the first add's source endpoint — guaranteed to exist, and in
+  // the graph unless heavy deletion later isolates it (a case the differ
+  // handles explicitly).
+  fc.source = 0;
+  for (const EdgeEvent& e : fc.events) {
+    if (e.op == EdgeOp::kAdd) {
+      fc.source = e.src;
+      break;
+    }
+  }
+}
+
+/// Re-point a case at `algo`, regenerating its events when the stream
+/// profile (deletes allowed / weights mutable) differs from what they were
+/// generated under.
+void retarget_algo(FuzzCase& fc, Algo algo, const GenOptions& opts) {
+  const StreamProfile before = profile_of(fc.config.algo, opts);
+  const StreamProfile after = profile_of(algo, opts);
+  fc.config.algo = algo;
+  if (before != after) gen_events(fc, opts, after);
+}
+
+}  // namespace
 
 FuzzCase make_case(std::uint64_t seed, const GenOptions& opts) {
   REMO_CHECK(opts.num_vertices >= 2);
@@ -87,7 +213,7 @@ FuzzCase make_case(std::uint64_t seed, const GenOptions& opts) {
   static constexpr std::uint32_t kPromoteChoices[] = {2, 8};
   Xoshiro256 knobs(splitmix64(seed ^ kKnobSalt));
   CaseConfig& c = fc.config;
-  c.algo = static_cast<Algo>(knobs.bounded(4));
+  c.algo = static_cast<Algo>(knobs.bounded(kNumAlgos));
   c.ranks = pick(knobs, kRankChoices);
   c.termination = knobs.bounded(2) == 0 ? TerminationMode::kCounting
                                         : TerminationMode::kSafra;
@@ -101,97 +227,25 @@ FuzzCase make_case(std::uint64_t seed, const GenOptions& opts) {
   c.schedule_seed = splitmix64(seed ^ kScheduleSalt) | 1;  // nonzero
   c.streams = c.ranks;
 
-  // --- Event stream -------------------------------------------------------
-  Xoshiro256 rng(splitmix64(seed ^ kEventSalt));
-  const bool deletes = algo_supports_deletes(c.algo) && opts.delete_permille > 0;
-
-  // Live unordered pairs, for picking meaningful delete targets. The map
-  // stores each live pair's slot in the vector; erase swaps the tail in.
-  struct LivePair {
-    VertexId src, dst;
-    std::uint64_t key;
-  };
-  std::vector<LivePair> live;
-  RobinHoodMap<std::uint64_t, std::uint32_t> live_slot;
-
-  fc.events.reserve(opts.num_events);
-  for (std::uint32_t i = 0; i < opts.num_events; ++i) {
-    const bool want_delete =
-        deletes && !live.empty() && rng.bounded(1000) < opts.delete_permille;
-    if (want_delete) {
-      if (rng.bounded(16) == 0) {
-        // Occasional delete of an edge that does not exist: the engine
-        // must treat it as a no-op (no reverse propagation, no repair
-        // anchor) — a hazard class worth keeping in the stream.
-        const VertexId u = rng.bounded(opts.num_vertices);
-        VertexId v = rng.bounded(opts.num_vertices);
-        if (v == u) v = (v + 1) % opts.num_vertices;
-        const std::uint64_t key = event_pair_key(EdgeEvent{u, v});
-        if (!live_slot.contains(key)) {
-          fc.events.push_back(EdgeEvent{u, v, 1, EdgeOp::kDelete});
-          continue;
-        }
-      }
-      const std::uint32_t slot =
-          static_cast<std::uint32_t>(rng.bounded(live.size()));
-      const LivePair p = live[slot];
-      fc.events.push_back(EdgeEvent{
-          p.src, p.dst, pair_weight(p.key, seed, opts.max_weight),
-          EdgeOp::kDelete});
-      live[slot] = live.back();
-      live_slot.insert_or_assign(live[slot].key, slot);
-      live.pop_back();
-      live_slot.erase(p.key);
-      continue;
-    }
-    const VertexId u = rng.bounded(opts.num_vertices);
-    VertexId v = rng.bounded(opts.num_vertices);
-    if (v == u) v = (v + 1) % opts.num_vertices;  // no self-loops
-    const EdgeEvent probe{u, v};
-    const std::uint64_t key = event_pair_key(probe);
-    fc.events.push_back(
-        EdgeEvent{u, v, pair_weight(key, seed, opts.max_weight), EdgeOp::kAdd});
-    if (!live_slot.contains(key)) {
-      live_slot.insert_or_assign(key, static_cast<std::uint32_t>(live.size()));
-      live.push_back(LivePair{u, v, key});
-    }
-  }
-
-  // Source: the first add's source endpoint — guaranteed to exist, and in
-  // the graph unless heavy deletion later isolates it (a case the differ
-  // handles explicitly).
-  for (const EdgeEvent& e : fc.events) {
-    if (e.op == EdgeOp::kAdd) {
-      fc.source = e.src;
-      break;
-    }
-  }
+  gen_events(fc, opts, profile_of(c.algo, opts));
   return fc;
 }
 
 FuzzCase make_case_indexed(std::uint64_t index, std::uint64_t base_seed,
                            const GenOptions& opts) {
   FuzzCase fc = make_case(hash_combine(splitmix64(base_seed), index), opts);
-  // Cycle the coverage-critical axes deterministically: 4 algorithms x 4
-  // rank counts x 2 detectors = 32 combos per index window.
-  constexpr Algo kAlgos[] = {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt};
+  // Cycle the coverage-critical axes deterministically: 6 algorithms x 4
+  // rank counts x 2 detectors = 48 combos per index window.
+  constexpr Algo kAlgos[] = {Algo::kBfs,      Algo::kSssp, Algo::kCc,
+                             Algo::kSt,       Algo::kPagerank,
+                             Algo::kWsssp};
   constexpr std::uint32_t kRanks[] = {1, 2, 4, 8};
-  fc.config.algo = kAlgos[index % 4];
-  fc.config.ranks = kRanks[(index / 4) % 4];
+  fc.config.ranks = kRanks[(index / kNumAlgos) % 4];
   fc.config.streams = fc.config.ranks;
-  fc.config.termination = ((index / 16) % 2) == 0 ? TerminationMode::kCounting
-                                                  : TerminationMode::kSafra;
-  if (!algo_supports_deletes(fc.config.algo)) {
-    // The seed-random algo may have generated deletes the cycled algo
-    // cannot repair: regenerate the stream under the final algo.
-    const FuzzCase regen = make_case(fc.seed, [&] {
-      GenOptions g = opts;
-      g.delete_permille = 0;
-      return g;
-    }());
-    fc.events = regen.events;
-    fc.source = regen.source;
-  }
+  fc.config.termination = ((index / (kNumAlgos * 4)) % 2) == 0
+                              ? TerminationMode::kCounting
+                              : TerminationMode::kSafra;
+  retarget_algo(fc, kAlgos[index % kNumAlgos], opts);
   return fc;
 }
 
@@ -275,6 +329,17 @@ RunResult run_case(const FuzzCase& fc, const RunOptions& run) {
       inject_st_sources(engine, id, *p);
       break;
     }
+    case Algo::kPagerank:
+      // No init: a vertex bootstraps its base mass on first topology touch
+      // (on_add publishes whenever the residual exceeds the tolerance).
+      id = engine.attach(std::make_shared<PageRankDelta>());
+      break;
+    case Algo::kWsssp: {
+      auto [i, p] = engine.attach_make<WeightedSssp>(fc.source);
+      id = i;
+      engine.inject_init(id, fc.source);
+      break;
+    }
   }
 
   if (run.query_observer) {
@@ -309,7 +374,12 @@ RunResult run_case(const FuzzCase& fc, const RunOptions& run) {
   } else {
     engine.ingest(split_events_keyed(fc.events, c.streams, fc.seed));
   }
-  if (has_deletes) engine.repair(id);
+  // Weighted SSSP needs the repair wave even in add-only streams: a weight
+  // *increase* on a parent edge marks the child dirty exactly like a delete
+  // does. PageRank never needs one — the memo-delta policy absorbs every
+  // mutation locally (repair would be a harmless no-op).
+  if (c.algo == Algo::kWsssp || (has_deletes && c.algo != Algo::kPagerank))
+    engine.repair(id);
 
   // --- Differential check against the static oracle -----------------------
   RunResult rr;
@@ -325,6 +395,7 @@ RunResult run_case(const FuzzCase& fc, const RunOptions& run) {
       if (s != CsrGraph::kNoVertex) oracle = static_bfs(g, s);
       break;
     case Algo::kSssp:
+    case Algo::kWsssp:
       if (s != CsrGraph::kNoVertex) oracle = static_sssp_dijkstra(g, s);
       break;
     case Algo::kCc:
@@ -333,12 +404,28 @@ RunResult run_case(const FuzzCase& fc, const RunOptions& run) {
     case Algo::kSt:
       if (s != CsrGraph::kNoVertex) oracle = static_multi_st(g, {s});
       break;
+    case Algo::kPagerank:
+      // Stored as raw IEEE bits so the uniform StateWord plumbing (and the
+      // repro format) carries them; the comparator decodes.
+      for (const double r : static_pagerank(g))
+        oracle.push_back(std::bit_cast<StateWord>(r));
+      break;
   }
+
+  // Integer-state algorithms diff exactly; PageRank converges to within
+  // its publish tolerance of the oracle fixpoint, so its states compare as
+  // decoded doubles under kPagerankAtol (identity bits decode to the base
+  // mass an untouched/orphaned vertex holds).
+  auto states_equal = [&](StateWord got, StateWord want) {
+    if (c.algo != Algo::kPagerank) return got == want;
+    const PageRankDelta pr;
+    return std::abs(pr.rank_of(got) - pr.rank_of(want)) <= kPagerankAtol;
+  };
 
   auto check = [&](VertexId ext, StateWord want) {
     ++rr.vertices_checked;
     const StateWord got = engine.state_of(id, ext);
-    if (got != want) rr.divergences.push_back(Divergence{ext, got, want});
+    if (!states_equal(got, want)) rr.divergences.push_back(Divergence{ext, got, want});
   };
 
   // Every vertex of the surviving graph. When heavy deletion isolated the
@@ -356,6 +443,7 @@ RunResult run_case(const FuzzCase& fc, const RunOptions& run) {
   switch (c.algo) {
     case Algo::kBfs:
     case Algo::kSssp:
+    case Algo::kWsssp:
       check(fc.source, s != CsrGraph::kNoVertex ? oracle[s] : 1);
       break;
     case Algo::kSt:
@@ -363,6 +451,13 @@ RunResult run_case(const FuzzCase& fc, const RunOptions& run) {
       break;
     case Algo::kCc:
       if (s != CsrGraph::kNoVertex) check(fc.source, oracle[s]);
+      break;
+    case Algo::kPagerank:
+      // No distinguished source, but fc.source is a real vertex the main
+      // loop skipped: a survivor diffs against its oracle rank, an
+      // isolated one must have retracted back to the base mass (identity
+      // decodes to exactly that).
+      check(fc.source, s != CsrGraph::kNoVertex ? oracle[s] : identity);
       break;
   }
 
@@ -403,7 +498,8 @@ std::string describe(const FuzzCase& fc) {
 CampaignResult run_campaign(const CampaignOptions& opts) {
   CampaignResult res;
   for (std::uint64_t i = 0; i < opts.num_cases; ++i) {
-    const FuzzCase fc = make_case_indexed(i, opts.base_seed, opts.gen);
+    FuzzCase fc = make_case_indexed(i, opts.base_seed, opts.gen);
+    if (opts.force_algo) retarget_algo(fc, *opts.force_algo, opts.gen);
     const RunResult rr = run_case(fc, opts.run);
     ++res.cases_run;
     const bool keep_going = !opts.on_case || opts.on_case(fc, rr);

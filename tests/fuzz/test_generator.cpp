@@ -84,13 +84,14 @@ TEST(FuzzGenerator, SurvivingEdgesFoldsPerPair) {
 }
 
 TEST(FuzzGenerator, AlgoNamesRoundTrip) {
-  for (Algo a : {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt}) {
+  for (Algo a : {Algo::kBfs, Algo::kSssp, Algo::kCc, Algo::kSt,
+                 Algo::kPagerank, Algo::kWsssp}) {
     Algo back{};
     ASSERT_TRUE(fuzz::algo_from_name(fuzz::algo_name(a), back));
     EXPECT_EQ(back, a);
   }
   Algo out{};
-  EXPECT_FALSE(fuzz::algo_from_name("pagerank", out));
+  EXPECT_FALSE(fuzz::algo_from_name("katz", out));
 }
 
 TEST(FuzzGenerator, DescribeMentionsTheBigAxes) {

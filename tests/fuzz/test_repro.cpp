@@ -85,7 +85,7 @@ TEST(Repro, RejectsMalformedInput) {
       {"missing key", replace_first(good, "\nranks ", "\nwrong_key ")},
       {"garbage number", replace_first(good, "\nranks ", "\nranks x")},
       {"zero ranks", replace_first(good, "\nranks ", "\nranks 0\nranks ")},
-      {"bad algo", replace_first(good, "\nalgo ", "\nalgo pagerank\nalgo ")},
+      {"bad algo", replace_first(good, "\nalgo ", "\nalgo katz\nalgo ")},
       {"bad op", replace_first(good, "\na ", "\nz ")},
       {"extra token", replace_first(good, "\na ", "\na 1 2 3 4\na ")},
       {"count too high", replace_first(good, "\nevents ", "\nevents 99999\nx ")},

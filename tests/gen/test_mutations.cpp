@@ -1,0 +1,61 @@
+// make_weight_mutations — the Figure 9 weight-mutation workload generator.
+#include <gtest/gtest.h>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(WeightMutations, EveryEventIsARealTransitionOnALivePair) {
+  const EdgeList base = dedupe_undirected(generate_erdos_renyi(
+      {.num_vertices = 40, .num_edges = 120, .seed = 9}));
+  EdgeList weighted;
+  for (const Edge& e : base) weighted.push_back(Edge{e.src, e.dst, 3});
+  const auto events = make_weight_mutations(
+      weighted, {.num_events = 500, .min_weight = 1, .max_weight = 6, .seed = 9});
+  ASSERT_EQ(events.size(), 500u);
+
+  // Track the evolving weight per pair; every event must hit an existing
+  // pair, stay inside the bounds, and actually change the weight.
+  RobinHoodMap<std::uint64_t, Weight> current;
+  for (const Edge& e : weighted)
+    current.get_or_insert(event_pair_key(
+        EdgeEvent{e.src, e.dst, e.weight, EdgeOp::kAdd})) = e.weight;
+  for (const EdgeEvent& e : events) {
+    EXPECT_EQ(e.op, EdgeOp::kAdd);
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 6u);
+    Weight* w = current.find(event_pair_key(e));
+    ASSERT_NE(w, nullptr) << "mutation invented a pair";
+    EXPECT_NE(*w, e.weight) << "mutation kept the old weight";
+    *w = e.weight;
+  }
+}
+
+TEST(WeightMutations, DeterministicPerSeed) {
+  const EdgeList base = {{0, 1, 2}, {1, 2, 2}, {2, 3, 2}};
+  const MutationOptions opts{.num_events = 50, .max_weight = 9, .seed = 4};
+  EXPECT_EQ(make_weight_mutations(base, opts), make_weight_mutations(base, opts));
+  const auto other = make_weight_mutations(
+      base, {.num_events = 50, .max_weight = 9, .seed = 5});
+  EXPECT_NE(make_weight_mutations(base, opts), other);
+}
+
+TEST(WeightMutations, DuplicateArcsCollapseLastWriterWins) {
+  // The same unordered pair listed twice (with different weights) is one
+  // mutable pair whose starting weight is the later entry's.
+  const EdgeList base = {{0, 1, 2}, {1, 0, 7}};
+  const auto events = make_weight_mutations(
+      base, {.num_events = 1, .min_weight = 2, .max_weight = 3, .seed = 1});
+  ASSERT_EQ(events.size(), 1u);
+  // Starting weight is 7 (last writer), so a draw inside [2,3] is always a
+  // change; had the first arc won, weight 2 would have to be excluded.
+  EXPECT_NE(events[0].weight, 7u);
+}
+
+TEST(WeightMutations, EmptyRequestYieldsNothing) {
+  EXPECT_TRUE(make_weight_mutations({}, {.num_events = 0}).empty());
+}
+
+}  // namespace
+}  // namespace remo::test

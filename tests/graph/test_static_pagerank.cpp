@@ -1,0 +1,70 @@
+// Static weighted PageRank oracle (graph/static_pagerank.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../support.hpp"
+
+namespace remo::test {
+namespace {
+
+TEST(StaticPagerank, SymmetricPairIsTheUnitFixpoint) {
+  const CsrGraph g = undirected_csr({{0, 1, 1}});
+  const auto ranks = static_pagerank(g);
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_NEAR(ranks[0], 1.0, 1e-9);
+  EXPECT_NEAR(ranks[1], 1.0, 1e-9);
+}
+
+TEST(StaticPagerank, RegularGraphsAreUniform) {
+  // Every vertex of a triangle (and any regular graph) has rank exactly 1.
+  const CsrGraph g = undirected_csr({{0, 1, 1}, {1, 2, 1}, {2, 0, 1}});
+  for (const double r : static_pagerank(g)) EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+TEST(StaticPagerank, StarCentreCollectsTheLeafMass) {
+  const CsrGraph g =
+      undirected_csr({{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}});
+  const auto ranks = static_pagerank(g);
+  const double centre = ranks[g.dense_of(0)];
+  // Closed form: centre = (1-d)(1+kd)/(1-d^2) with k = 4 leaves, d = 0.85.
+  EXPECT_NEAR(centre, 0.15 * (1.0 + 4 * 0.85) / (1.0 - 0.85 * 0.85), 1e-8);
+  for (VertexId leaf = 1; leaf <= 4; ++leaf)
+    EXPECT_NEAR(ranks[g.dense_of(leaf)], 0.15 + 0.85 * centre / 4.0, 1e-8);
+}
+
+TEST(StaticPagerank, WeightsSteerMassTowardsHeavyEdges) {
+  // Path 0 -9- 1 -1- 2: vertex 0 gets the lion's share of 1's ratio.
+  const CsrGraph g = undirected_csr({{0, 1, 9}, {1, 2, 1}});
+  const auto ranks = static_pagerank(g);
+  EXPECT_GT(ranks[g.dense_of(0)], ranks[g.dense_of(2)]);
+}
+
+TEST(StaticPagerank, RandomGraphSatisfiesTheFixpointEquation) {
+  const EdgeList edges = dedupe_undirected(generate_erdos_renyi(
+      {.num_vertices = 90, .num_edges = 300, .seed = 19}));
+  // Give the pairs varied weights deterministically.
+  EdgeList weighted;
+  std::uint32_t i = 0;
+  for (const Edge& e : edges)
+    weighted.push_back(Edge{e.src, e.dst, static_cast<Weight>(1 + (i++ % 7))});
+  const CsrGraph g = undirected_csr(weighted);
+  const auto ranks = static_pagerank(g);
+
+  // Residual check: r(x) = 0.15 + 0.85 * sum w(u,x) r(u) / W(u).
+  std::vector<double> wdeg(g.num_vertices(), 0.0);
+  for (CsrGraph::Dense u = 0; u < g.num_vertices(); ++u)
+    for (const Weight w : g.weights(u)) wdeg[u] += static_cast<double>(w);
+  for (CsrGraph::Dense x = 0; x < g.num_vertices(); ++x) {
+    double acc = 0.0;
+    const auto nbrs = g.neighbours(x);
+    const auto ws = g.weights(x);
+    for (std::size_t k = 0; k < nbrs.size(); ++k)
+      if (wdeg[nbrs[k]] > 0.0)
+        acc += static_cast<double>(ws[k]) * ranks[nbrs[k]] / wdeg[nbrs[k]];
+    EXPECT_NEAR(ranks[x], 0.15 + 0.85 * acc, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace remo::test

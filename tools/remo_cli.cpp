@@ -3,7 +3,7 @@
 //   remo generate --kind rmat --scale 16 --out graph.bin [--seed 1]
 //   remo stats    --graph graph.bin
 //   remo ingest   --graph graph.bin [--ranks 4] [--streams 4]
-//                 [--algo none|bfs|sssp|cc|st|degree] [--source V]
+//                 [--algo none|bfs|sssp|cc|st|degree|wsssp|pagerank] [--source V]
 //                 [--weights MAX] [--snapshot out.txt] [--safra]
 //   remo serve    --graph graph.bin [--queries N] [--query-threads T]
 //                 [--refresh-ms MS] [--gate] [--spans] [--stats-json FILE]
@@ -75,8 +75,8 @@ int usage() {
                "  remo generate --kind rmat|er|ba --scale N --out FILE [--seed S]\n"
                "  remo stats    --graph FILE\n"
                "  remo ingest   --graph FILE [--ranks N] [--streams N]\n"
-               "                [--algo none|bfs|sssp|cc|st|degree] [--source V]\n"
-               "                [--weights MAX] [--snapshot OUT.txt] [--safra]\n"
+               "                [--algo none|bfs|sssp|cc|st|degree|wsssp|pagerank] [--source V]\n"
+               "                [--tolerance X] [--weights MAX] [--snapshot OUT.txt] [--safra]\n"
                "                [--batch-size N] [--no-coalesce]\n"
                "                [--pinning none|compact|scatter|numa-spread]\n"
                "                [--arenas] [--no-hugepages] [--no-numa-bind]\n"
@@ -111,6 +111,7 @@ int usage() {
                "                     [--gate-pct PCT] [--force]\n"
                "  remo fuzz       [--seeds N] [--seed-base S] [--vertices N]\n"
                "                  [--events N] [--deletes PERMILLE] [--max-weight W]\n"
+               "                  [--mutations PERMILLE] [--algo NAME]\n"
                "                  [--out-dir DIR] [--keep-going] [--no-shrink]\n"
                "                  [--shrink-runs N] [--query-observer]\n"
                "  remo fuzz-repro --file FILE [--shrink] [--out FILE]\n"
@@ -413,6 +414,18 @@ int cmd_ingest(const Args& a) {
   } else if (algo == "degree") {
     auto [id, p] = engine.attach_make<DegreeTracker>();
     prog_id = id;
+  } else if (algo == "wsssp") {
+    auto [id, p] = engine.attach_make<WeightedSssp>(source);
+    prog_id = id;
+    engine.inject_init(id, source);
+  } else if (algo == "pagerank") {
+    // No init: PageRankDelta bootstraps from on_add publishes. The publish
+    // tolerance bounds cascade reach (DESIGN.md §8); the exactness default
+    // of 1e-9 is right for small fuzz graphs but cascades graph-wide during
+    // live construction at bench scales — loosen it for interactive use.
+    PageRankDelta::Options popt;
+    popt.tolerance = std::strtod(a.str("tolerance", "1e-9").c_str(), nullptr);
+    prog_id = engine.attach(std::make_shared<PageRankDelta>(popt));
   } else if (algo == "none") {
     have_program = false;
   } else {
@@ -1090,7 +1103,16 @@ int cmd_fuzz(const Args& a) {
   opts.gen.num_vertices = static_cast<std::uint32_t>(a.num("vertices", 96));
   opts.gen.num_events = static_cast<std::uint32_t>(a.num("events", 600));
   opts.gen.delete_permille = static_cast<std::uint32_t>(a.num("deletes", 250));
+  opts.gen.mutate_permille = static_cast<std::uint32_t>(a.num("mutations", 250));
   opts.gen.max_weight = static_cast<Weight>(a.num("max-weight", 8));
+  if (const std::string an = a.str("algo", ""); !an.empty()) {
+    fuzz::Algo al;
+    if (!fuzz::algo_from_name(an, al)) {
+      std::fprintf(stderr, "unknown --algo '%s'\n", an.c_str());
+      return 2;
+    }
+    opts.force_algo = al;
+  }
   opts.run.query_observer = a.flag("query-observer");
   const bool keep_going = a.flag("keep-going");
   const bool do_shrink = !a.flag("no-shrink");
